@@ -1,0 +1,128 @@
+"""Figure 2 — RPQd (4/8/16 machines) vs Neo4j-like BFT vs PostgreSQL-like
+recursive baselines on the nine LDBC-BI-derived queries.
+
+Reproduces the paper's central comparison: per-query latencies for five
+engine configurations plus the total-time speedups (Section 4.2: RPQd-4 is
+>= several-fold faster than both baselines in total; the advantage grows
+with machine count; the baselines stay competitive only on the cheapest
+Q10-style variants).
+"""
+
+import pytest
+
+from repro.baselines import BftEngine, RecursiveEngine
+from repro.bench import (
+    BenchHarness,
+    baseline_executor,
+    format_table,
+    rpqd_executor,
+    total_virtual_time,
+)
+from repro.datagen import BENCHMARK_QUERIES
+
+ENGINE_ORDER = ["rpqd-4", "rpqd-8", "rpqd-16", "bft(neo4j-like)", "recursive(pg-like)"]
+
+
+@pytest.fixture(scope="module")
+def figure2(ldbc):
+    graph, info = ldbc
+    queries = {name: fn(info) for name, fn in BENCHMARK_QUERIES.items()}
+    engines = {
+        "rpqd-4": rpqd_executor(graph, 4),
+        "rpqd-8": rpqd_executor(graph, 8),
+        "rpqd-16": rpqd_executor(graph, 16),
+        "bft(neo4j-like)": baseline_executor(BftEngine, graph),
+        "recursive(pg-like)": baseline_executor(RecursiveEngine, graph),
+    }
+    cells = BenchHarness(repetitions=3).run(engines, queries)
+    return cells, queries
+
+
+def test_figure2_report(figure2, report):
+    cells, queries = figure2
+    rows = []
+    for qname in queries:
+        rows.append(
+            [qname] + [cells[(e, qname)].virtual_time for e in ENGINE_ORDER]
+        )
+    totals = {e: total_virtual_time(cells, e) for e in ENGINE_ORDER}
+    rows.append(["TOTAL"] + [totals[e] for e in ENGINE_ORDER])
+    rows.append(
+        ["vs rpqd-4"]
+        + [totals[e] / totals["rpqd-4"] for e in ENGINE_ORDER]
+    )
+    text = format_table(
+        ["query"] + ENGINE_ORDER,
+        rows,
+        title="Figure 2: median virtual latency (rounds), 9 LDBC-BI-derived queries",
+    )
+    report("figure2 engines", text)
+    assert totals["rpqd-4"] > 0
+
+
+def test_all_engines_agree_on_results(figure2):
+    cells, queries = figure2
+    for qname in queries:
+        values = {cells[(e, qname)].value for e in ENGINE_ORDER}
+        assert len(values) == 1, f"engines disagree on {qname}: {values}"
+
+
+def test_rpqd_wins_on_total_time(figure2):
+    # Section 4.2: "In terms of total time, RPQd with four machines is
+    # more than 18x and 16x on average faster than Neo4j and PostgreSQL."
+    # Our simulated cluster is smaller (4x4 workers vs 4x34), so we assert
+    # the direction and a conservative margin, not the absolute factor.
+    cells, _ = figure2
+    rpqd4 = total_virtual_time(cells, "rpqd-4")
+    assert total_virtual_time(cells, "bft(neo4j-like)") > 1.5 * rpqd4
+    assert total_virtual_time(cells, "recursive(pg-like)") > 3.0 * rpqd4
+
+
+def test_recursive_is_slowest_on_deep_replies(figure2):
+    # Deep recursive expansion is where the relational strategy loses most.
+    cells, _ = figure2
+    for qname in ("Q09", "Q09R", "Q09*"):
+        assert (
+            cells[("recursive(pg-like)", qname)].virtual_time
+            > cells[("bft(neo4j-like)", qname)].virtual_time
+        )
+
+
+def test_rpqd_advantage_grows_with_machines(figure2):
+    cells, _ = figure2
+    assert (
+        total_virtual_time(cells, "rpqd-16")
+        < total_virtual_time(cells, "rpqd-8")
+        < total_virtual_time(cells, "rpqd-4")
+    )
+
+
+def test_baselines_competitive_only_on_cheap_queries(figure2):
+    # Paper: RPQd performs best on all queries except the Q10 family where
+    # a tiny two-to-three-hop expansion fits a single machine well.
+    cells, queries = figure2
+    wins = {
+        q: cells[("bft(neo4j-like)", q)].virtual_time
+        >= cells[("rpqd-4", q)].virtual_time
+        for q in queries
+    }
+    losses = [q for q, rpqd_wins in wins.items() if not rpqd_wins]
+    assert all(q.startswith("Q10") or q.startswith("Q03") for q in losses), losses
+
+
+@pytest.mark.parametrize("qname", ["Q09", "Q03*", "Q10"])
+def test_wall_clock_rpqd4(benchmark, ldbc, qname):
+    graph, info = ldbc
+    execute = rpqd_executor(graph, 4)
+    query = BENCHMARK_QUERIES[qname](info)
+    benchmark.pedantic(lambda: execute(query), rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize(
+    "engine_cls", [BftEngine, RecursiveEngine], ids=["bft", "recursive"]
+)
+def test_wall_clock_baseline_q09(benchmark, ldbc, engine_cls):
+    graph, info = ldbc
+    execute = baseline_executor(engine_cls, graph)
+    query = BENCHMARK_QUERIES["Q09"](info)
+    benchmark.pedantic(lambda: execute(query), rounds=3, iterations=1)

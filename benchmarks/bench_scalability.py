@@ -1,0 +1,95 @@
+"""Section 4.3 — scalability of RPQd from 4 to 16 machines.
+
+The paper reports near-linear scaling on the workload total (8 machines
+2.3x, 16 machines 4.4x vs 4) with two exceptions it analyses explicitly:
+narrow starting queries (Q3 filters a single country and effectively starts
+from one vertex, bottlenecking one machine) and queries with little local
+computation.  This bench regenerates the per-query speedup series and
+asserts those shapes.
+"""
+
+import pytest
+
+from repro.bench import BenchHarness, format_table, rpqd_executor
+from repro.datagen import BENCHMARK_QUERIES
+
+MACHINES = [4, 8, 16]
+
+
+@pytest.fixture(scope="module")
+def scalability(ldbc):
+    graph, info = ldbc
+    queries = {name: fn(info) for name, fn in BENCHMARK_QUERIES.items()}
+    engines = {f"rpqd-{m}": rpqd_executor(graph, m) for m in MACHINES}
+    cells = BenchHarness(repetitions=3).run(engines, queries)
+    return cells, queries
+
+
+def test_scalability_report(scalability, report):
+    cells, queries = scalability
+    rows = []
+    for qname in queries:
+        base = cells[("rpqd-4", qname)].virtual_time
+        rows.append(
+            [qname]
+            + [cells[(f"rpqd-{m}", qname)].virtual_time for m in MACHINES]
+            + [base / max(cells[(f"rpqd-{m}", qname)].virtual_time, 1e-9)
+               for m in MACHINES[1:]]
+        )
+    totals = {
+        m: sum(cells[(f"rpqd-{m}", q)].virtual_time for q in queries)
+        for m in MACHINES
+    }
+    rows.append(
+        ["TOTAL"]
+        + [totals[m] for m in MACHINES]
+        + [totals[4] / totals[8], totals[4] / totals[16]]
+    )
+    text = format_table(
+        ["query", "4 mach", "8 mach", "16 mach", "speedup@8", "speedup@16"],
+        rows,
+        title="Section 4.3: RPQd scalability (virtual rounds; paper: 2.3x@8, 4.4x@16)",
+    )
+    report("scalability", text)
+
+
+def test_workload_total_scales(scalability):
+    cells, queries = scalability
+    totals = {
+        m: sum(cells[(f"rpqd-{m}", q)].virtual_time for q in queries)
+        for m in MACHINES
+    }
+    assert totals[4] / totals[8] > 1.3
+    assert totals[4] / totals[16] > 1.8
+    assert totals[4] / totals[16] > totals[4] / totals[8]
+
+
+def test_tree_heavy_queries_scale_best(scalability):
+    cells, _ = scalability
+    q9_speedup = (
+        cells[("rpqd-4", "Q09")].virtual_time
+        / cells[("rpqd-16", "Q09")].virtual_time
+    )
+    assert q9_speedup > 2.0
+
+
+def test_narrow_start_limits_scalability(scalability):
+    # Paper: Q3 starts from a single country vertex ('Burma'), so one
+    # machine bottlenecks the early stages and 16 machines barely help.
+    cells, _ = scalability
+    q3_speedup = (
+        cells[("rpqd-4", "Q03*")].virtual_time
+        / cells[("rpqd-16", "Q03*")].virtual_time
+    )
+    q9_speedup = (
+        cells[("rpqd-4", "Q09")].virtual_time
+        / cells[("rpqd-16", "Q09")].virtual_time
+    )
+    assert q3_speedup < q9_speedup
+
+
+def test_wall_clock_scaling_run(benchmark, ldbc):
+    graph, info = ldbc
+    execute = rpqd_executor(graph, 16)
+    query = BENCHMARK_QUERIES["Q09"](info)
+    benchmark.pedantic(lambda: execute(query), rounds=3, iterations=1)

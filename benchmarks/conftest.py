@@ -1,0 +1,77 @@
+"""Shared fixtures for the benchmark suite.
+
+Graphs are generated once per session.  Paper-style tables produced by the
+benchmarks are collected and printed in the terminal summary (so they appear
+in ``pytest benchmarks/ --benchmark-only`` output) and also written to
+``benchmarks/results/``.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.datagen import mini_ldbc
+
+_REPORTS = []
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Scale used by the heavier comparison/scalability benches; override with
+#: REPRO_BENCH_SCALE=s for a quicker pass.
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "m")
+
+
+@pytest.fixture(scope="session")
+def ldbc():
+    """The benchmark graph at the configured scale: ``(graph, info)``."""
+    return mini_ldbc(SCALE)
+
+
+@pytest.fixture(scope="session")
+def ldbc_small():
+    """A smaller graph for sweeps that run many configurations."""
+    return mini_ldbc("s")
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Callable ``report(title, text)`` collecting paper-style tables."""
+
+    def add(title, text):
+        _REPORTS.append((title, text))
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        slug = title.lower().replace(" ", "_").replace("/", "-")
+        (_RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+
+    return add
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_collection_modifyitems(config, items):
+    """Keep report/shape-assertion tests alive under ``--benchmark-only``.
+
+    pytest-benchmark skips tests that don't use its fixture; our table
+    generators and paper-shape assertions ARE the benchmark deliverable, so
+    strip that skip marker from items in this directory.
+    """
+    session = getattr(config, "_benchmarksession", None)
+    if session is None or not session.only:
+        return
+    for item in items:
+        item.own_markers = [
+            m
+            for m in item.own_markers
+            if not (
+                m.name == "skip"
+                and "non-benchmark" in str(m.kwargs.get("reason", ""))
+            )
+        ]
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.section("paper-style benchmark reports")
+    for title, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)

@@ -1,0 +1,50 @@
+"""repro — a reproduction of "Distributed Asynchronous Regular Path Queries
+(RPQs) on Graphs" (RPQd, Middleware 2023).
+
+Public API highlights:
+
+* :class:`repro.graph.GraphBuilder` / :class:`repro.graph.PropertyGraph` —
+  build labelled property graphs;
+* :class:`repro.RPQdEngine` — the distributed asynchronous RPQ engine
+  (simulated cluster, the paper's contribution);
+* :class:`repro.EngineConfig` — cluster/flow-control configuration;
+* :mod:`repro.baselines` — Neo4j-like BFT and PostgreSQL-like recursive
+  baselines over the same PGQL front end;
+* :mod:`repro.datagen` — LDBC-SNB-like synthetic graphs and the paper's
+  benchmark queries.
+"""
+
+from .config import CostModel, EngineConfig
+from .engine import QueryResult, RPQdEngine, ResultSet, witness_path
+from .errors import (
+    ConfigError,
+    ExecutionError,
+    FlowControlDeadlock,
+    GraphError,
+    PgqlSyntaxError,
+    PlanningError,
+    ReproError,
+)
+from .graph import Direction, GraphBuilder, PropertyGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigError",
+    "CostModel",
+    "Direction",
+    "EngineConfig",
+    "ExecutionError",
+    "FlowControlDeadlock",
+    "GraphBuilder",
+    "GraphError",
+    "PgqlSyntaxError",
+    "PlanningError",
+    "PropertyGraph",
+    "QueryResult",
+    "RPQdEngine",
+    "ReproError",
+    "ResultSet",
+    "__version__",
+    "witness_path",
+]

@@ -1,0 +1,20 @@
+"""Benchmark harness and reporting utilities."""
+
+from .harness import (
+    BenchHarness,
+    BenchResult,
+    baseline_executor,
+    rpqd_executor,
+    total_virtual_time,
+)
+from .reporting import format_table, speedup
+
+__all__ = [
+    "BenchHarness",
+    "BenchResult",
+    "baseline_executor",
+    "format_table",
+    "rpqd_executor",
+    "speedup",
+    "total_virtual_time",
+]

@@ -1,0 +1,89 @@
+"""Benchmark harness implementing the paper's methodology (Section 4.1):
+each query runs ``repetitions`` times in round-robin order across queries
+(eliminating caching effects) and the *median* latency is reported.
+
+Latency here is **virtual time** (scheduler rounds for RPQd, equivalent cost
+units / quantum for the baselines); wall-clock medians are recorded too for
+transparency.  Virtual time is deterministic, so shapes are stable across
+runs and machines.
+"""
+
+import statistics
+import time
+from dataclasses import dataclass, field
+
+from ..config import EngineConfig
+from ..engine import RPQdEngine
+
+
+@dataclass
+class BenchResult:
+    """Median measurements for one (engine, query) cell."""
+
+    engine: str
+    query: str
+    virtual_time: float = 0.0
+    wall_seconds: float = 0.0
+    value: object = None  # first row/scalar, for cross-engine validation
+    stats: object = None  # last run's stats object
+    samples: list = field(default_factory=list)
+
+
+class BenchHarness:
+    """Runs a set of named engines over a set of named queries."""
+
+    def __init__(self, repetitions=3):
+        self.repetitions = repetitions
+
+    def run(self, engines, queries):
+        """``engines``: {name: execute(query_text) -> result-like};
+        ``queries``: {name: text}.  Returns {(engine, query): BenchResult}.
+        """
+        cells = {
+            (e, q): BenchResult(engine=e, query=q)
+            for e in engines
+            for q in queries
+        }
+        for _rep in range(self.repetitions):
+            # Round-robin across queries, inner loop over engines, per the
+            # paper's methodology (avoids per-query cache warm effects).
+            for qname, qtext in queries.items():
+                for ename, execute in engines.items():
+                    started = time.perf_counter()
+                    result = execute(qtext)
+                    wall = time.perf_counter() - started
+                    cell = cells[(ename, qname)]
+                    cell.samples.append((result.virtual_time, wall))
+                    cell.stats = result.stats
+                    rows = result.rows
+                    cell.value = rows[0] if rows else None
+        for cell in cells.values():
+            cell.virtual_time = statistics.median(s[0] for s in cell.samples)
+            cell.wall_seconds = statistics.median(s[1] for s in cell.samples)
+        return cells
+
+
+def rpqd_executor(graph, machines, quantum=400.0, **overrides):
+    """Executor factory for an RPQd configuration."""
+    config = EngineConfig(num_machines=machines, quantum=quantum, **overrides)
+    engine = RPQdEngine(graph, config)
+
+    def execute(query_text):
+        return engine.execute(query_text)
+
+    return execute
+
+
+def baseline_executor(engine_cls, graph, quantum=400.0):
+    """Executor factory for a baseline engine (same quantum units)."""
+    engine = engine_cls(graph, quantum=quantum)
+
+    def execute(query_text):
+        return engine.execute(query_text)
+
+    return execute
+
+
+def total_virtual_time(cells, engine):
+    """Sum of median virtual times across all queries for one engine."""
+    return sum(c.virtual_time for (e, _q), c in cells.items() if e == engine)

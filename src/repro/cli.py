@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``generate`` — write an LDBC-SNB-like graph to a JSON-lines file;
+* ``query`` — run a PGQL query over a JSON-lines graph with a chosen
+  engine (``rpqd``, ``bft``, ``recursive``);
+* ``explain`` — print the distributed plan for a query;
+* ``workload`` — run the paper's nine benchmark queries on a generated
+  graph and print a latency table.
+"""
+
+import argparse
+import json
+import sys
+
+from .baselines import BftEngine, RecursiveEngine
+from .bench.reporting import format_table
+from .config import EngineConfig
+from .engine import RPQdEngine
+from .graph.loader import load_graph, save_graph
+
+
+def _add_engine_args(parser):
+    parser.add_argument(
+        "--engine",
+        choices=["rpqd", "bft", "recursive"],
+        default="rpqd",
+        help="evaluation engine (default: rpqd)",
+    )
+    parser.add_argument(
+        "--machines", type=int, default=4, help="simulated machines for rpqd"
+    )
+    parser.add_argument(
+        "--no-index",
+        action="store_true",
+        help="disable the reachability index (safe on acyclic expansions only)",
+    )
+
+
+def _make_engine(args, graph):
+    if args.engine == "bft":
+        return BftEngine(graph)
+    if args.engine == "recursive":
+        return RecursiveEngine(graph)
+    config = EngineConfig(
+        num_machines=args.machines,
+        use_reachability_index=not args.no_index,
+    )
+    return RPQdEngine(graph, config)
+
+
+def cmd_generate(args):
+    from .datagen import mini_ldbc
+
+    graph, info = mini_ldbc(args.scale, seed=args.seed)
+    save_graph(graph, args.output)
+    meta = dict(info.counts)
+    meta.update(
+        start_person=info.start_person,
+        narrow_country=info.narrow_country,
+        popular_tag=info.popular_tag,
+    )
+    print(json.dumps(meta, indent=2))
+    return 0
+
+
+def cmd_query(args):
+    graph = load_graph(args.graph)
+    engine = _make_engine(args, graph)
+    query = args.query
+    if query == "-":
+        query = sys.stdin.read()
+    result = engine.execute(query)
+    if args.format == "csv":
+        sys.stdout.write(result.result_set.to_csv())
+    elif args.format == "json":
+        print(result.result_set.to_json())
+    else:
+        print("\t".join(result.columns))
+        for row in result:
+            print("\t".join("NULL" if v is None else str(v) for v in row))
+    if args.stats:
+        print(
+            f"-- virtual latency: {result.virtual_time} rounds", file=sys.stderr
+        )
+        if hasattr(result.stats, "summary"):
+            print(f"-- {result.stats.summary()}", file=sys.stderr)
+    return 0
+
+
+def cmd_explain(args):
+    graph = load_graph(args.graph)
+    engine = RPQdEngine(graph, EngineConfig(num_machines=args.machines))
+    print(engine.explain(args.query))
+    return 0
+
+
+def cmd_workload(args):
+    from .datagen import BENCHMARK_QUERIES, mini_ldbc
+
+    graph, info = mini_ldbc(args.scale, seed=args.seed)
+    engines = {
+        "rpqd": RPQdEngine(graph, EngineConfig(num_machines=args.machines)),
+        "bft": BftEngine(graph),
+        "recursive": RecursiveEngine(graph),
+    }
+    rows = []
+    for name, build in BENCHMARK_QUERIES.items():
+        query = build(info)
+        row = [name]
+        for engine in engines.values():
+            row.append(round(engine.execute(query).virtual_time, 1))
+        rows.append(row)
+    print(
+        format_table(
+            ["query"] + list(engines),
+            rows,
+            title=f"paper workload at scale {args.scale!r} "
+            f"(virtual latency, rpqd on {args.machines} machines)",
+        )
+    )
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RPQd: distributed asynchronous regular path queries",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate an LDBC-like graph")
+    p.add_argument("output", help="output JSON-lines path")
+    p.add_argument("--scale", choices=["xs", "s", "m", "l"], default="s")
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("query", help="run a PGQL query on a graph file")
+    p.add_argument("graph", help="JSON-lines graph path")
+    p.add_argument("query", help="PGQL text ('-' reads stdin)")
+    p.add_argument("--stats", action="store_true", help="print runtime stats")
+    p.add_argument(
+        "--format", choices=["tsv", "csv", "json"], default="tsv",
+        help="output format (default: tsv)",
+    )
+    _add_engine_args(p)
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("explain", help="print the distributed plan")
+    p.add_argument("graph", help="JSON-lines graph path")
+    p.add_argument("query", help="PGQL text")
+    p.add_argument("--machines", type=int, default=4)
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser("workload", help="run the paper's nine queries")
+    p.add_argument("--scale", choices=["xs", "s", "m", "l"], default="s")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--machines", type=int, default=4)
+    p.set_defaults(func=cmd_workload)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

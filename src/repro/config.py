@@ -1,0 +1,140 @@
+"""Engine configuration for the simulated RPQd cluster.
+
+The defaults are scaled-down analogues of the paper's setup (Section 4.1):
+the authors run 36 workers/machine with 8192 message buffers of 256 KB,
+pre-partition RPQ flow-control buffers up to depth four, allow five shared
+messages per path stage beyond that depth plus one overflow message per
+depth, and preallocate contexts up to depth three.  We keep the same knobs
+but size them for mini graphs so that flow control actually engages.
+"""
+
+from dataclasses import dataclass, field
+
+from .errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Virtual-time prices (in abstract cost units) for runtime operations.
+
+    Virtual time is measured in scheduler rounds; each machine spends up to
+    ``EngineConfig.quantum`` cost units per round.  The individual prices
+    only matter relative to each other — they determine, e.g., how expensive
+    messaging is compared to local edge traversal.
+    """
+
+    bootstrap: float = 0.5
+    edge_traverse: float = 1.0
+    filter_eval: float = 0.2
+    context_serialize: float = 0.3
+    message_fixed: float = 8.0
+    receive_context: float = 0.4
+    # Reachability-index costs relative to an edge traversal (1.0): a
+    # concurrent two-level map insert pays an atomic first-level CAS,
+    # second-level allocation, and hashing — the paper measures tree-shaped
+    # Q9 running 3.4x faster with the index disabled, implying index
+    # maintenance dominates its control-stage cost.
+    index_insert: float = 7.0  # allocate + insert a reachability entry
+    index_insert_prealloc: float = 3.0  # insert into a bulk-preallocated index
+    index_hit: float = 2.5  # probe finding an existing entry
+    output: float = 1.0
+    termination_status: float = 2.0
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Configuration of the simulated RPQd cluster.
+
+    Attributes:
+        num_machines: number of simulated machines (paper: 4..16).
+        workers_per_machine: DFT workers per machine (paper: 34 + 2 messengers;
+            the two messaging threads are implicit in the simulation).
+        batch_size: contexts per message buffer before it is flushed.
+        buffers_per_machine: flow-control credit budget per machine, i.e. the
+            number of in-flight buffers a machine may address to the cluster
+            (paper: 8192 buffers of 256 KB per machine).
+        buffer_bytes: modelled size of one message buffer, used only for the
+            memory accounting reports (paper: 256 KB).
+        rpq_flow_depth: depth ``D`` up to which RPQ stages get dedicated
+            per-depth buffer partitions (paper: 4).
+        rpq_shared_credits: shared in-flight messages per path stage for all
+            depths ``>= D`` (paper: 5).
+        rpq_overflow_per_depth: extra overflow messages allowed per depth
+            beyond ``D`` to prevent flow-control livelock (paper: 1).
+        context_prealloc_depth: depth up to which RPQ contexts are treated as
+            preallocated; deeper contexts count as dynamic allocations in the
+            statistics (paper: 3).
+        quantum: cost units one machine may spend per scheduler round.
+        net_delay_rounds: rounds between sending a message and it becoming
+            deliverable at the destination.
+        use_reachability_index: build/consult the reachability index
+            (Section 3.5).  Disabling it is only safe on acyclic expansions
+            (e.g. Reply trees) and is used for the Figure 3 / Section 4.4
+            ablations.
+        receive_priority: ``"depth"`` (paper: deeper depths and later stages
+            first) or ``"fifo"`` (arrival order) — ablation knob for the
+            receive-priority design choice.
+        max_rounds: safety cap on scheduler rounds before declaring a
+            deadlock.
+        cost: the virtual-time cost model.
+        seed: seed for any randomized tie-breaking (kept deterministic).
+    """
+
+    num_machines: int = 4
+    workers_per_machine: int = 4
+    batch_size: int = 32
+    buffers_per_machine: int = 512
+    buffer_bytes: int = 256 * 1024
+    rpq_flow_depth: int = 4
+    rpq_shared_credits: int = 5
+    rpq_overflow_per_depth: int = 1
+    context_prealloc_depth: int = 3
+    quantum: float = 2000.0
+    net_delay_rounds: int = 1
+    use_reachability_index: bool = True
+    # Bulk-preallocate the index's first level over each machine's local
+    # vertex range, trading memory for cheaper inserts (the paper's
+    # Section 4.5 future-work option).
+    index_preallocate: bool = False
+    receive_priority: str = "depth"
+    # Plan with sampled "scouting" probes instead of static selectivity
+    # heuristics (the paper's cited scouting-queries planning technique).
+    scouting: bool = False
+    max_rounds: int = 2_000_000
+    cost: CostModel = field(default_factory=CostModel)
+    seed: int = 42
+
+    def __post_init__(self):
+        if self.num_machines < 1:
+            raise ConfigError("num_machines must be >= 1")
+        if self.workers_per_machine < 1:
+            raise ConfigError("workers_per_machine must be >= 1")
+        if self.batch_size < 1:
+            raise ConfigError("batch_size must be >= 1")
+        if self.buffers_per_machine < 2 * self.num_machines:
+            # The paper notes each machine requires at least two buffers
+            # (send + receive) per peer; enforce the aggregate lower bound.
+            raise ConfigError(
+                "buffers_per_machine must be >= 2 * num_machines "
+                f"(got {self.buffers_per_machine} for {self.num_machines} machines)"
+            )
+        if self.rpq_flow_depth < 0:
+            raise ConfigError("rpq_flow_depth must be >= 0")
+        if self.rpq_shared_credits < 1:
+            raise ConfigError("rpq_shared_credits must be >= 1")
+        if self.rpq_overflow_per_depth < 0:
+            raise ConfigError("rpq_overflow_per_depth must be >= 0")
+        if self.quantum <= 0:
+            raise ConfigError("quantum must be positive")
+        if self.net_delay_rounds < 0:
+            raise ConfigError("net_delay_rounds must be >= 0")
+        if self.max_rounds < 1:
+            raise ConfigError("max_rounds must be >= 1")
+        if self.receive_priority not in ("depth", "fifo"):
+            raise ConfigError("receive_priority must be 'depth' or 'fifo'")
+
+    def with_(self, **overrides):
+        """Return a copy of this config with the given fields replaced."""
+        from dataclasses import replace
+
+        return replace(self, **overrides)

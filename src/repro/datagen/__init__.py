@@ -1,0 +1,16 @@
+"""Synthetic LDBC-SNB-like data and the paper's benchmark workload."""
+
+from . import schema
+from .ldbc import LdbcInfo, LdbcParams, generate_ldbc, mini_ldbc
+from .workloads import BENCHMARK_QUERIES, FIGURE3_HOPS, reply_depth_query
+
+__all__ = [
+    "BENCHMARK_QUERIES",
+    "FIGURE3_HOPS",
+    "LdbcInfo",
+    "LdbcParams",
+    "generate_ldbc",
+    "mini_ldbc",
+    "reply_depth_query",
+    "schema",
+]

@@ -1,0 +1,270 @@
+"""Deterministic LDBC-SNB-like synthetic graph generator.
+
+Substitutes for the paper's LDBC SF10/SF100 datasets at laptop scale while
+preserving the structural features the evaluation depends on:
+
+* **Reply trees** with per-depth branching that first explodes and then
+  decays exponentially (drives the Table 2 depth histogram and makes deep
+  Reply RPQs tree-shaped, where the reachability index is superfluous —
+  Section 4.4);
+* **Small-world KNOWS** with locality plus long links, giving dense
+  2–3-hop neighbourhoods with many alternative paths (drives Table 3's
+  eliminated/duplicated counts);
+* **Zipf-distributed places** so a country filter like the paper's
+  ``'Burma'`` produces a narrow, single-machine-bottlenecked start
+  (Section 4.3's limited-scalability observation for Q3).
+
+Everything is seeded; the same parameters always produce the identical
+graph.
+"""
+
+import random
+from dataclasses import dataclass, field
+
+from ..graph.builder import GraphBuilder
+from . import schema
+
+
+@dataclass(frozen=True)
+class LdbcParams:
+    """Generator knobs; see :func:`mini_ldbc` for calibrated presets."""
+
+    num_persons: int = 300
+    knows_avg_degree: float = 6.0
+    num_countries: int = 12
+    cities_per_country: int = 3
+    num_forums: int = 40
+    posts_per_forum: float = 4.0
+    reply_branching: float = 1.9
+    reply_decay: float = 0.72
+    reply_max_depth: int = 12
+    num_tags: int = 16
+    tags_per_message: float = 0.8
+    interests_per_person: float = 1.5
+    max_date: int = 1000  # creationDate range in "days"
+    seed: int = 7
+
+
+@dataclass
+class LdbcInfo:
+    """Metadata the workloads need: ids and parameter values."""
+
+    params: LdbcParams = None
+    narrow_country: str = schema.COUNTRY_NAMES[0]
+    start_person: int = -1  # the paper's "predefined single person" (Q10)
+    popular_tag: str = schema.TAG_NAMES[0]
+    date_lo: int = 0
+    date_hi: int = 0
+    counts: dict = field(default_factory=dict)
+
+
+def mini_ldbc(scale="s", seed=7):
+    """Calibrated presets: ``xs`` (tests), ``s`` (default benches), ``m``, ``l``."""
+    presets = {
+        "xs": LdbcParams(num_persons=120, num_forums=15, num_countries=8, seed=seed),
+        "s": LdbcParams(num_persons=400, num_forums=50, seed=seed),
+        "m": LdbcParams(
+            num_persons=1500,
+            num_forums=180,
+            num_countries=20,
+            knows_avg_degree=8.0,
+            seed=seed,
+        ),
+        "l": LdbcParams(
+            num_persons=5000,
+            num_forums=600,
+            num_countries=30,
+            knows_avg_degree=10.0,
+            seed=seed,
+        ),
+    }
+    return generate_ldbc(presets[scale])
+
+
+def generate_ldbc(params):
+    """Generate the graph; returns ``(PropertyGraph, LdbcInfo)``."""
+    rng = random.Random(params.seed)
+    b = GraphBuilder()
+    info = LdbcInfo(params=params)
+
+    # -- places ---------------------------------------------------------
+    country_ids = []
+    for i in range(params.num_countries):
+        name = schema.COUNTRY_NAMES[i % len(schema.COUNTRY_NAMES)]
+        country_ids.append(b.add_vertex(schema.COUNTRY, name=name))
+    city_ids = []
+    city_country = []
+    for c, country in enumerate(country_ids):
+        for j in range(params.cities_per_country):
+            city = b.add_vertex(schema.CITY, name=f"city_{c}_{j}")
+            b.add_edge(city, country, schema.IS_PART_OF)
+            city_ids.append(city)
+            city_country.append(c)
+
+    # -- tags -----------------------------------------------------------
+    tag_class_ids = [
+        b.add_vertex(schema.TAG_CLASS, name=n) for n in schema.TAG_CLASS_NAMES
+    ]
+    tag_ids = []
+    for i in range(params.num_tags):
+        name = schema.TAG_NAMES[i % len(schema.TAG_NAMES)]
+        tag = b.add_vertex(schema.TAG, name=name)
+        b.add_edge(tag, tag_class_ids[i % len(tag_class_ids)], schema.HAS_TYPE)
+        tag_ids.append(tag)
+
+    # -- persons (Zipf city choice: country 0 stays narrow) --------------
+    # Zipf weights over non-narrow cities; the first country (the paper's
+    # 'Burma' role) gets a tiny fixed weight so country-name filters on it
+    # select only a handful of persons.
+    weights = []
+    rank = 0
+    for k in range(len(city_ids)):
+        if city_country[k] == 0:
+            weights.append(0.06)
+        else:
+            rank += 1
+            weights.append(1.0 / rank)
+    person_ids = []
+    person_city = []
+    for i in range(params.num_persons):
+        city_pos = rng.choices(range(len(city_ids)), weights=weights)[0]
+        person = b.add_vertex(
+            schema.PERSON,
+            firstName=schema.FIRST_NAMES[i % len(schema.FIRST_NAMES)],
+            age=18 + rng.randrange(60),
+            creationDate=rng.randrange(params.max_date),
+        )
+        b.add_edge(person, city_ids[city_pos], schema.LOCATED_IN)
+        person_ids.append(person)
+        person_city.append(city_pos)
+
+    # -- KNOWS: locality + long links, power-law-ish degrees -------------
+    knows_seen = set()
+    knows_degree = [0] * params.num_persons
+
+    def add_knows(i, j):
+        if i == j:
+            return
+        key = (min(i, j), max(i, j))
+        if key in knows_seen:
+            return
+        knows_seen.add(key)
+        b.add_edge(person_ids[i], person_ids[j], schema.KNOWS,
+                   creationDate=rng.randrange(params.max_date))
+        knows_degree[i] += 1
+        knows_degree[j] += 1
+
+    half_edges = int(params.num_persons * params.knows_avg_degree / 2)
+    for _ in range(half_edges):
+        i = rng.randrange(params.num_persons)
+        if rng.random() < 0.7:
+            # Local link: exponentially close id (same "community").
+            offset = 1 + int(rng.expovariate(1 / 8.0))
+            j = (i + offset) % params.num_persons
+        else:
+            # Long link with preferential attachment on current degree.
+            j = max(
+                rng.randrange(params.num_persons),
+                rng.randrange(params.num_persons),
+                key=lambda v: knows_degree[v],
+            )
+        add_knows(i, j)
+
+    # -- interests --------------------------------------------------------
+    for i in range(params.num_persons):
+        k = _poissonish(rng, params.interests_per_person)
+        for tag in rng.sample(tag_ids, min(k, len(tag_ids))):
+            b.add_edge(person_ids[i], tag, schema.HAS_INTEREST)
+
+    # -- forums, posts, reply trees --------------------------------------
+    num_messages = 0
+    num_posts = 0
+    for f in range(params.num_forums):
+        moderator = rng.randrange(params.num_persons)
+        forum = b.add_vertex(
+            schema.FORUM,
+            title=f"forum_{f}",
+            creationDate=rng.randrange(params.max_date),
+        )
+        b.add_edge(forum, person_ids[moderator], schema.HAS_MODERATOR)
+        for member in rng.sample(
+            range(params.num_persons), min(5, params.num_persons)
+        ):
+            b.add_edge(forum, person_ids[member], schema.HAS_MEMBER)
+        for _ in range(_poissonish(rng, params.posts_per_forum)):
+            creator = rng.randrange(params.num_persons)
+            date = rng.randrange(params.max_date)
+            post = b.add_vertex(
+                schema.POST,
+                extra_labels=(schema.MESSAGE,),
+                creationDate=date,
+                length=rng.randrange(10, 500),
+            )
+            num_posts += 1
+            num_messages += 1
+            b.add_edge(forum, post, schema.CONTAINER_OF)
+            b.add_edge(post, person_ids[creator], schema.HAS_CREATOR)
+            for tag in rng.sample(
+                tag_ids, min(_poissonish(rng, params.tags_per_message), len(tag_ids))
+            ):
+                b.add_edge(post, tag, schema.HAS_TAG)
+            # Reply tree: branching explodes at depth 1 and decays with
+            # depth (Table 2's shape).
+            frontier = [(post, 0, date)]
+            while frontier:
+                parent, depth, parent_date = frontier.pop()
+                if depth >= params.reply_max_depth:
+                    continue
+                mean = params.reply_branching * (params.reply_decay ** depth)
+                for _ in range(_poissonish(rng, mean)):
+                    commenter = rng.randrange(params.num_persons)
+                    cdate = min(params.max_date - 1, parent_date + rng.randrange(1, 30))
+                    comment = b.add_vertex(
+                        schema.COMMENT,
+                        extra_labels=(schema.MESSAGE,),
+                        creationDate=cdate,
+                        length=rng.randrange(5, 200),
+                    )
+                    num_messages += 1
+                    b.add_edge(comment, parent, schema.REPLY_OF)
+                    b.add_edge(comment, person_ids[commenter], schema.HAS_CREATOR)
+                    for tag in rng.sample(
+                        tag_ids,
+                        min(_poissonish(rng, params.tags_per_message / 2), len(tag_ids)),
+                    ):
+                        b.add_edge(comment, tag, schema.HAS_TAG)
+                    frontier.append((comment, depth + 1, cdate))
+
+    graph = b.build()
+
+    # The paper's Q10 starts from a predefined person; we pick the person
+    # with the highest KNOWS degree for an interesting expansion.
+    best = max(range(params.num_persons), key=lambda i: knows_degree[i])
+    info.start_person = person_ids[best]
+    info.date_lo = params.max_date // 4
+    info.date_hi = 3 * params.max_date // 4
+    info.counts = {
+        "persons": params.num_persons,
+        "knows_edges": len(knows_seen),
+        "forums": params.num_forums,
+        "posts": num_posts,
+        "messages": num_messages,
+        "vertices": graph.num_vertices,
+        "edges": graph.num_edges,
+    }
+    return graph, info
+
+
+def _poissonish(rng, mean):
+    """Small deterministic Poisson-like sampler (Knuth's method)."""
+    if mean <= 0:
+        return 0
+    import math
+
+    limit = math.exp(-mean)
+    k = 0
+    product = rng.random()
+    while product > limit:
+        k += 1
+        product *= rng.random()
+    return k

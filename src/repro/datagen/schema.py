@@ -1,0 +1,79 @@
+"""Schema constants for the LDBC-SNB-like synthetic graphs.
+
+Mirrors the subset of the LDBC Social Network Benchmark schema exercised by
+the paper's nine queries: places, persons with a KNOWS network, forums with
+posts, comment reply trees, and tags.  ``Post`` and ``Comment`` carry the
+``Message`` supertype as an extra label, like LDBC's Message hierarchy.
+"""
+
+# Vertex labels
+COUNTRY = "Country"
+CITY = "City"
+PERSON = "Person"
+FORUM = "Forum"
+POST = "Post"
+COMMENT = "Comment"
+MESSAGE = "Message"  # supertype label carried by Post and Comment
+TAG = "Tag"
+TAG_CLASS = "TagClass"
+
+# Edge labels
+IS_PART_OF = "IS_PART_OF"  # City -> Country
+LOCATED_IN = "LOCATED_IN"  # Person -> City
+KNOWS = "KNOWS"  # Person -> Person
+HAS_MODERATOR = "HAS_MODERATOR"  # Forum -> Person
+HAS_MEMBER = "HAS_MEMBER"  # Forum -> Person
+CONTAINER_OF = "CONTAINER_OF"  # Forum -> Post
+HAS_CREATOR = "HAS_CREATOR"  # Post/Comment -> Person
+REPLY_OF = "REPLY_OF"  # Comment -> Post/Comment
+HAS_TAG = "HAS_TAG"  # Post/Comment -> Tag
+HAS_INTEREST = "HAS_INTEREST"  # Person -> Tag
+HAS_TYPE = "HAS_TYPE"  # Tag -> TagClass
+
+#: Country names; the first one plays the paper's narrow 'Burma' role
+#: (few inhabitants, single-vertex query starts).
+COUNTRY_NAMES = [
+    "Burma",
+    "Norway",
+    "Italy",
+    "India",
+    "China",
+    "Brazil",
+    "Kenya",
+    "Canada",
+    "Japan",
+    "Spain",
+    "Chile",
+    "Egypt",
+    "France",
+    "Ghana",
+    "Greece",
+    "Mexico",
+    "Nepal",
+    "Peru",
+    "Poland",
+    "Qatar",
+    "Serbia",
+    "Sweden",
+    "Turkey",
+    "Uganda",
+    "Vietnam",
+    "Yemen",
+    "Zambia",
+    "Austria",
+    "Belgium",
+    "Croatia",
+]
+
+FIRST_NAMES = [
+    "Ada", "Bo", "Chen", "Dara", "Emil", "Fay", "Gus", "Hana", "Ivo", "Jun",
+    "Kai", "Lea", "Mio", "Nia", "Otto", "Pia", "Quinn", "Rui", "Sam", "Tess",
+]
+
+TAG_NAMES = [
+    "graphs", "databases", "distributed", "async", "music", "football",
+    "cooking", "travel", "physics", "history", "movies", "poetry",
+    "chess", "running", "privacy", "compilers",
+]
+
+TAG_CLASS_NAMES = ["Science", "Sports", "Arts", "Technology"]

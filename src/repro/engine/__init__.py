@@ -1,0 +1,14 @@
+"""Engine facade: compile + execute PGQL over the simulated cluster."""
+
+from .engine import QueryResult, RPQdEngine
+from .paths import witness_path
+from .result import MachineSink, ResultSet, assemble_results
+
+__all__ = [
+    "MachineSink",
+    "QueryResult",
+    "RPQdEngine",
+    "ResultSet",
+    "assemble_results",
+    "witness_path",
+]

@@ -1,0 +1,124 @@
+"""The public RPQd engine facade.
+
+Typical use::
+
+    from repro import RPQdEngine, EngineConfig
+
+    engine = RPQdEngine(graph, EngineConfig(num_machines=4))
+    result = engine.execute(
+        "SELECT COUNT(*) FROM MATCH (a:Person)-/:KNOWS{1,3}/->(b:Person)"
+    )
+    print(result.scalar(), result.stats.virtual_time)
+"""
+
+from ..config import EngineConfig
+from ..graph.distributed import DistributedGraph
+from ..pgql.ast import Query
+from ..pgql.parser import parse
+from ..plan.compiler import compile_query
+from ..plan.explain import explain as explain_plan
+from ..runtime.scheduler import QueryExecution
+from ..runtime.trace import ExecutionTrace
+from .result import MachineSink, ResultSet, assemble_results
+
+
+class QueryResult:
+    """A merged result set plus the run's statistics and plan."""
+
+    def __init__(self, result_set, stats, plan, trace=None):
+        self.result_set = result_set
+        self.stats = stats
+        self.plan = plan
+        self.trace = trace
+
+    # Convenience pass-throughs.
+    def __iter__(self):
+        return iter(self.result_set)
+
+    def __len__(self):
+        return len(self.result_set)
+
+    @property
+    def columns(self):
+        return self.result_set.columns
+
+    @property
+    def rows(self):
+        return self.result_set.rows
+
+    def scalar(self):
+        return self.result_set.scalar()
+
+    def column(self, name_or_index):
+        return self.result_set.column(name_or_index)
+
+    def to_dicts(self):
+        return self.result_set.to_dicts()
+
+    @property
+    def virtual_time(self):
+        """Virtual makespan in scheduler rounds (the latency metric)."""
+        return self.stats.virtual_time
+
+    def explain_analyze(self):
+        """The executed plan annotated with actual per-stage match counts."""
+        from ..plan.explain import explain as explain_plan
+
+        return explain_plan(self.plan, stats=self.stats)
+
+
+class RPQdEngine:
+    """Distributed asynchronous RPQ engine over a simulated cluster."""
+
+    def __init__(self, graph, config=None, partitioner="hash"):
+        self.graph = graph
+        self.config = config or EngineConfig()
+        self.dgraph = DistributedGraph(graph, self.config.num_machines, partitioner)
+        self._plan_cache = {}
+
+    def parse(self, query_text):
+        return parse(query_text)
+
+    def compile(self, query):
+        """Compile PGQL text or a parsed Query into a distributed plan."""
+        scouting = self.config.scouting
+        if isinstance(query, str):
+            cached = self._plan_cache.get(query)
+            if cached is not None:
+                return cached
+            plan = compile_query(parse(query), self.graph, scouting=scouting)
+            self._plan_cache[query] = plan
+            return plan
+        if isinstance(query, Query):
+            return compile_query(query, self.graph, scouting=scouting)
+        return query  # assume an already-compiled DistributedPlan
+
+    def explain(self, query):
+        return explain_plan(self.compile(query))
+
+    def execute(self, query, config=None, trace=False):
+        """Execute and return a :class:`QueryResult`.
+
+        ``config`` overrides the engine's configuration for this run (used
+        by benchmarks to sweep machine counts etc.); it must keep the same
+        ``num_machines`` unless the graph is re-partitioned, so a differing
+        machine count triggers a re-partition here.  With ``trace=True``
+        (or an :class:`~repro.runtime.trace.ExecutionTrace` instance) the
+        result carries a per-round activity timeline in ``result.trace``.
+        """
+        run_config = config or self.config
+        dgraph = self.dgraph
+        if run_config.num_machines != dgraph.num_machines:
+            dgraph = DistributedGraph(self.graph, run_config.num_machines)
+        plan = self.compile(query)
+        sinks = [MachineSink(plan) for _ in range(run_config.num_machines)]
+        if trace is True:
+            trace = ExecutionTrace()
+        elif trace is False:
+            trace = None
+        execution = QueryExecution(
+            dgraph, plan, run_config, sink_factory=lambda m: sinks[m], trace=trace
+        )
+        stats = execution.run()
+        result_set = assemble_results(plan, sinks)
+        return QueryResult(result_set, stats, plan, trace=trace)

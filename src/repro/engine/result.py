@@ -1,0 +1,268 @@
+"""Result collection: machine-local sinks, distributed partial aggregation,
+and final result assembly (DISTINCT / GROUP BY / ORDER BY / LIMIT)."""
+
+from ..errors import ExecutionError
+
+
+class _ProjState:
+    """Minimal evaluation state for projections (slot reads only)."""
+
+    __slots__ = ("ctx", "edge", "partition")
+
+    def __init__(self):
+        self.ctx = None
+        self.edge = -1
+        self.partition = None
+
+
+class _AggAccumulator:
+    """One aggregate cell (count/sum/min/max/avg, optionally DISTINCT)."""
+
+    __slots__ = ("func", "distinct", "count", "total", "min", "max", "values")
+
+    def __init__(self, func, distinct):
+        self.func = func
+        self.distinct = distinct
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+        self.values = set() if distinct else None
+
+    def update(self, value, is_star):
+        if self.distinct:
+            if value is not None:
+                self.values.add(value)
+            return
+        if self.func == "count":
+            if is_star or value is not None:
+                self.count += 1
+            return
+        if value is None:
+            return
+        self.count += 1
+        if self.func in ("sum", "avg"):
+            self.total += value
+        if self.func in ("min",):
+            self.min = value if self.min is None else min(self.min, value)
+        if self.func in ("max",):
+            self.max = value if self.max is None else max(self.max, value)
+
+    def merge(self, other):
+        if self.distinct:
+            self.values |= other.values
+            return
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min, other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None else max(self.max, other.max)
+
+    def result(self):
+        if self.distinct:
+            values = self.values
+            if self.func == "count":
+                return len(values)
+            if not values:
+                return None
+            if self.func == "sum":
+                return sum(values)
+            if self.func == "min":
+                return min(values)
+            if self.func == "max":
+                return max(values)
+            if self.func == "avg":
+                return sum(values) / len(values)
+        if self.func == "count":
+            return self.count
+        if self.count == 0:
+            return None
+        if self.func == "sum":
+            return self.total
+        if self.func == "avg":
+            return self.total / self.count
+        if self.func == "min":
+            return self.min
+        return self.max
+
+
+class MachineSink:
+    """Per-machine output collector.
+
+    For aggregate queries it keeps machine-local partial aggregates (the
+    distributed engine only ships small per-group states at the end); for
+    plain queries it buffers projected rows.
+    """
+
+    def __init__(self, plan):
+        self.plan = plan
+        self._state = _ProjState()
+        self.rows = []
+        self.groups = {}  # group key -> (plain values, [accumulators])
+
+    def add(self, ctx):
+        plan = self.plan
+        state = self._state
+        state.ctx = ctx
+        if not plan.has_aggregates:
+            self.rows.append(tuple(p.compiled(state) for p in plan.projections))
+            return
+        key = tuple(fn(state) for fn in plan.group_by)
+        entry = self.groups.get(key)
+        if entry is None:
+            accumulators = [
+                _AggAccumulator(p.aggregate, p.distinct) if p.aggregate else None
+                for p in plan.projections
+            ]
+            plain = [None] * len(plan.projections)
+            entry = (plain, accumulators)
+            self.groups[key] = entry
+        plain, accumulators = entry
+        for i, proj in enumerate(plan.projections):
+            if proj.aggregate is None:
+                plain[i] = proj.compiled(state)
+            else:
+                value = proj.compiled(state) if proj.compiled is not None else None
+                accumulators[i].update(value, is_star=proj.compiled is None)
+
+
+class ResultSet:
+    """Final, merged query result."""
+
+    def __init__(self, columns, rows):
+        self.columns = columns
+        self._rows = rows
+
+    def __iter__(self):
+        return iter(self._rows)
+
+    def __len__(self):
+        return len(self._rows)
+
+    @property
+    def rows(self):
+        return list(self._rows)
+
+    def scalar(self):
+        """The single value of a one-row, one-column result."""
+        if len(self._rows) != 1 or len(self.columns) != 1:
+            raise ExecutionError(
+                f"scalar() needs a 1x1 result, got {len(self._rows)}x{len(self.columns)}"
+            )
+        return self._rows[0][0]
+
+    def column(self, name_or_index):
+        if isinstance(name_or_index, str):
+            name_or_index = self.columns.index(name_or_index)
+        return [row[name_or_index] for row in self._rows]
+
+    def to_dicts(self):
+        return [dict(zip(self.columns, row)) for row in self._rows]
+
+    def to_csv(self, path_or_file=None):
+        """Write the result as CSV; returns the text when no target given."""
+        import csv
+        import io
+
+        def write(fh):
+            writer = csv.writer(fh)
+            writer.writerow(self.columns)
+            writer.writerows(self._rows)
+
+        if path_or_file is None:
+            buffer = io.StringIO()
+            write(buffer)
+            return buffer.getvalue()
+        if hasattr(path_or_file, "write"):
+            write(path_or_file)
+            return None
+        with open(path_or_file, "w", newline="") as fh:
+            write(fh)
+        return None
+
+    def to_json(self):
+        """The rows as a JSON array of objects."""
+        import json
+
+        return json.dumps(self.to_dicts())
+
+    def __repr__(self):
+        return f"ResultSet(columns={self.columns}, rows={len(self._rows)})"
+
+
+def _sort_key(value):
+    """None-safe, mixed-type-safe sort key (NULLs last, then by type name)."""
+    if value is None:
+        return (2, "", "")
+    return (0 if isinstance(value, (int, float, bool)) else 1, type(value).__name__, value)
+
+
+def assemble_results(plan, sinks):
+    """Merge per-machine sinks into the final :class:`ResultSet`."""
+    columns = [p.name for p in plan.projections]
+    if plan.has_aggregates:
+        merged = {}
+        for sink in sinks:
+            for key, (plain, accumulators) in sink.groups.items():
+                entry = merged.get(key)
+                if entry is None:
+                    merged[key] = (list(plain), accumulators)
+                else:
+                    m_plain, m_accs = entry
+                    for i, acc in enumerate(accumulators):
+                        if acc is None:
+                            if m_plain[i] is None:
+                                m_plain[i] = plain[i]
+                        else:
+                            m_accs[i].merge(acc)
+        if not merged and not plan.group_by:
+            # Aggregates over an empty match: SQL returns one row (0/NULL).
+            row = tuple(
+                _AggAccumulator(p.aggregate, p.distinct).result()
+                if p.aggregate
+                else None
+                for p in plan.projections
+            )
+            rows = [row]
+        else:
+            rows = []
+            for key in sorted(merged.keys(), key=lambda k: tuple(_sort_key(v) for v in k)):
+                plain, accumulators = merged[key]
+                rows.append(
+                    tuple(
+                        plain[i] if acc is None else acc.result()
+                        for i, acc in enumerate(accumulators)
+                    )
+                )
+    else:
+        rows = []
+        for sink in sinks:
+            rows.extend(sink.rows)
+
+    having = getattr(plan, "having", None)
+    if having is not None:
+        rows = [row for row in rows if having(row)]
+
+    if plan.distinct:
+        seen = set()
+        unique = []
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                unique.append(row)
+        rows = unique
+
+    if plan.order_by:
+        for index, descending in reversed(plan.order_by):
+            rows.sort(key=lambda r: _sort_key(r[index]), reverse=descending)
+    elif not plan.has_aggregates:
+        # Deterministic output order regardless of machine interleaving.
+        rows.sort(key=lambda r: tuple(_sort_key(v) for v in r))
+
+    offset = getattr(plan, "offset", None)
+    if offset:
+        rows = rows[offset:]
+    if plan.limit is not None:
+        rows = rows[: plan.limit]
+    return ResultSet(columns, rows)

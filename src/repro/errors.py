@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro (RPQd) library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch a single base type.  Parsing, planning, and execution each have their
+own subclass to make failures attributable to a pipeline phase.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid graph construction or access (bad ids, labels)."""
+
+
+class PgqlSyntaxError(ReproError):
+    """Raised when a PGQL query cannot be tokenized or parsed.
+
+    Attributes:
+        position: character offset in the query text where the error was
+            detected (``-1`` when unknown).
+    """
+
+    def __init__(self, message, position=-1):
+        super().__init__(message)
+        self.position = position
+
+
+class PlanningError(ReproError):
+    """Raised when a parsed query cannot be turned into an execution plan."""
+
+
+class ExecutionError(ReproError):
+    """Raised for failures during distributed query execution."""
+
+
+class FlowControlDeadlock(ExecutionError):
+    """Raised when the simulated cluster makes no progress for too long.
+
+    This indicates a flow-control configuration with too few buffers (and no
+    overflow allowance) or a protocol bug; the paper's overflow buffers exist
+    precisely to avoid this situation (Section 3.3).
+    """
+
+
+class ConfigError(ReproError):
+    """Raised for invalid engine configuration values."""

@@ -1,0 +1,40 @@
+"""Property-graph substrate: storage, adjacency, partitioning."""
+
+from .builder import GraphBuilder
+from .csr import Csr
+from .distributed import DistributedGraph, GraphPartition
+from .graph import PropertyGraph
+from .labels import LabelTable
+from .csv_loader import load_csv_graph
+from .loader import load_graph, save_graph
+from .nx_bridge import from_networkx, to_networkx
+from .partition import (
+    BlockPartitioner,
+    ClusterPartitioner,
+    HashPartitioner,
+    Partitioner,
+    make_partitioner,
+)
+from .types import ANY_LABEL, NO_EDGE, Direction
+
+__all__ = [
+    "ANY_LABEL",
+    "BlockPartitioner",
+    "ClusterPartitioner",
+    "Csr",
+    "Direction",
+    "DistributedGraph",
+    "GraphBuilder",
+    "GraphPartition",
+    "HashPartitioner",
+    "LabelTable",
+    "NO_EDGE",
+    "Partitioner",
+    "PropertyGraph",
+    "from_networkx",
+    "load_csv_graph",
+    "load_graph",
+    "to_networkx",
+    "make_partitioner",
+    "save_graph",
+]

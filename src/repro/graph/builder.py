@@ -1,0 +1,95 @@
+"""Mutable builder producing immutable :class:`PropertyGraph` instances."""
+
+from ..errors import GraphError
+from .graph import PropertyGraph
+from .labels import LabelTable
+from .properties import DensePropertyStore, SparsePropertyStore
+
+
+class GraphBuilder:
+    """Accumulates vertices and edges, then builds CSR structures once.
+
+    Example:
+        >>> b = GraphBuilder()
+        >>> alice = b.add_vertex("Person", name="Alice")
+        >>> bob = b.add_vertex("Person", name="Bob")
+        >>> _ = b.add_edge(alice, bob, "KNOWS")
+        >>> g = b.build()
+        >>> g.num_vertices, g.num_edges
+        (2, 1)
+    """
+
+    def __init__(self):
+        self._vertex_labels = LabelTable()
+        self._edge_labels = LabelTable()
+        self._vertex_label_ids = []
+        self._extra_label_ids = {}
+        self._edge_src = []
+        self._edge_dst = []
+        self._edge_label_ids = []
+        self._vprop_rows = []
+        self._eprops = SparsePropertyStore()
+        self._built = False
+
+    @property
+    def num_vertices(self):
+        return len(self._vertex_label_ids)
+
+    @property
+    def num_edges(self):
+        return len(self._edge_src)
+
+    def add_vertex(self, label, extra_labels=(), **props):
+        """Add a vertex; returns its id (dense, insertion-ordered)."""
+        if self._built:
+            raise GraphError("builder already consumed by build()")
+        vid = len(self._vertex_label_ids)
+        self._vertex_label_ids.append(self._vertex_labels.intern(label))
+        if extra_labels:
+            self._extra_label_ids[vid] = frozenset(
+                self._vertex_labels.intern(name) for name in extra_labels
+            )
+        self._vprop_rows.append(props if props else None)
+        return vid
+
+    def add_edge(self, src, dst, label, **props):
+        """Add a directed edge ``src -> dst``; returns its id."""
+        if self._built:
+            raise GraphError("builder already consumed by build()")
+        n = len(self._vertex_label_ids)
+        if not (0 <= src < n and 0 <= dst < n):
+            raise GraphError(f"edge endpoints ({src}, {dst}) out of range [0, {n})")
+        eid = len(self._edge_src)
+        self._edge_src.append(src)
+        self._edge_dst.append(dst)
+        self._edge_label_ids.append(self._edge_labels.intern(label))
+        for name, value in props.items():
+            self._eprops.set(name, eid, value)
+        return eid
+
+    def set_vertex_property(self, vid, name, value):
+        if self._vprop_rows[vid] is None:
+            self._vprop_rows[vid] = {}
+        self._vprop_rows[vid][name] = value
+
+    def build(self):
+        """Finalize into an immutable :class:`PropertyGraph`."""
+        if self._built:
+            raise GraphError("builder already consumed by build()")
+        self._built = True
+        vprops = DensePropertyStore(len(self._vertex_label_ids))
+        for vid, row in enumerate(self._vprop_rows):
+            if row:
+                for name, value in row.items():
+                    vprops.set(name, vid, value)
+        return PropertyGraph(
+            self._vertex_labels,
+            self._edge_labels,
+            self._vertex_label_ids,
+            self._extra_label_ids,
+            self._edge_src,
+            self._edge_dst,
+            self._edge_label_ids,
+            vprops,
+            self._eprops,
+        )

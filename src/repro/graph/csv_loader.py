@@ -1,0 +1,115 @@
+"""CSV import: build property graphs from vertex/edge tables.
+
+The format follows common graph-CSV conventions (Neo4j-admin-style):
+
+Vertex CSV — one header row; required column ``id`` (any string/number,
+used only to wire edges), required ``label``; every other column becomes a
+vertex property.  An optional ``labels`` column may hold extra labels
+separated by ``;``.
+
+Edge CSV — required columns ``src``, ``dst``, ``label``; every other
+column becomes an edge property.
+
+Values are auto-typed: integers, floats, booleans (``true``/``false``),
+empty string -> missing.  Use :func:`load_csv_graph` for the pair, or the
+lower-level readers for custom pipelines.
+"""
+
+import csv
+
+from ..errors import GraphError
+from .builder import GraphBuilder
+
+
+def _auto_type(text):
+    if text == "":
+        return None
+    low = text.lower()
+    if low == "true":
+        return True
+    if low == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def read_vertices(path, builder, id_map):
+    """Read a vertex CSV into ``builder``; fills ``id_map`` (external id ->
+    internal vertex id)."""
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None:
+            raise GraphError(f"{path}: empty vertex CSV")
+        fields = set(reader.fieldnames)
+        if "id" not in fields or "label" not in fields:
+            raise GraphError(f"{path}: vertex CSV needs 'id' and 'label' columns")
+        prop_columns = [
+            c for c in reader.fieldnames if c not in ("id", "label", "labels")
+        ]
+        for lineno, row in enumerate(reader, start=2):
+            external = row["id"]
+            if external in id_map:
+                raise GraphError(f"{path}:{lineno}: duplicate vertex id {external!r}")
+            extra = ()
+            if row.get("labels"):
+                extra = tuple(
+                    name.strip() for name in row["labels"].split(";") if name.strip()
+                )
+            props = {}
+            for column in prop_columns:
+                value = _auto_type(row.get(column, ""))
+                if value is not None:
+                    props[column] = value
+            label = row["label"]
+            if not label:
+                raise GraphError(f"{path}:{lineno}: empty label")
+            id_map[external] = builder.add_vertex(label, extra_labels=extra, **props)
+
+
+def read_edges(path, builder, id_map):
+    """Read an edge CSV into ``builder`` using ``id_map`` for endpoints."""
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None:
+            raise GraphError(f"{path}: empty edge CSV")
+        fields = set(reader.fieldnames)
+        for required in ("src", "dst", "label"):
+            if required not in fields:
+                raise GraphError(f"{path}: edge CSV needs a {required!r} column")
+        prop_columns = [
+            c for c in reader.fieldnames if c not in ("src", "dst", "label")
+        ]
+        for lineno, row in enumerate(reader, start=2):
+            try:
+                src = id_map[row["src"]]
+                dst = id_map[row["dst"]]
+            except KeyError as exc:
+                raise GraphError(
+                    f"{path}:{lineno}: unknown endpoint id {exc.args[0]!r}"
+                ) from None
+            props = {}
+            for column in prop_columns:
+                value = _auto_type(row.get(column, ""))
+                if value is not None:
+                    props[column] = value
+            builder.add_edge(src, dst, row["label"], **props)
+
+
+def load_csv_graph(vertices_path, edges_path):
+    """Build a :class:`PropertyGraph` from a vertex CSV and an edge CSV.
+
+    Returns ``(graph, id_map)`` where ``id_map`` translates the CSV's
+    external ids to internal dense vertex ids.
+    """
+    builder = GraphBuilder()
+    id_map = {}
+    read_vertices(vertices_path, builder, id_map)
+    read_edges(edges_path, builder, id_map)
+    return builder.build(), id_map

@@ -1,0 +1,101 @@
+"""Partitioned view of a property graph for the simulated cluster.
+
+Each simulated machine accesses the graph only through its
+:class:`GraphPartition`, which restricts reads to locally-owned vertices —
+mirroring the real system where a vertex's adjacency lists and properties
+live on its owner machine.  Edges are stored with their source (out-CSR) and
+destination (in-CSR), so a machine can enumerate the out-edges of its local
+vertices (learning remote destination *ids*) but must ship the execution
+context to the destination's owner to read that vertex's labels/properties.
+"""
+
+from ..errors import GraphError
+from .partition import make_partitioner
+from .types import Direction
+
+
+class DistributedGraph:
+    """A :class:`PropertyGraph` plus a partitioning over machines."""
+
+    def __init__(self, graph, num_machines, partitioner="hash"):
+        self.graph = graph
+        self.num_machines = num_machines
+        if isinstance(partitioner, str):
+            partitioner = make_partitioner(
+                partitioner, graph.num_vertices, num_machines, graph=graph
+            )
+        self.partitioner = partitioner
+        self.partitions = [GraphPartition(self, m) for m in range(num_machines)]
+
+    def owner(self, vid):
+        return self.partitioner.owner(vid)
+
+    def partition(self, machine):
+        return self.partitions[machine]
+
+    def balance(self):
+        """Return per-machine local vertex counts (for diagnostics)."""
+        counts = [0] * self.num_machines
+        for m in range(self.num_machines):
+            counts[m] = sum(1 for _ in self.partitioner.local_vertices(m))
+        return counts
+
+
+class GraphPartition:
+    """Machine-local access surface over the shared graph.
+
+    All vertex-centric reads assert locality, so any accidental remote read
+    in engine code fails loudly during tests instead of silently breaking
+    the distribution model.
+    """
+
+    def __init__(self, dgraph, machine):
+        self._dgraph = dgraph
+        self.graph = dgraph.graph
+        self.machine = machine
+
+    # -- ownership -----------------------------------------------------
+    def is_local(self, vid):
+        return self._dgraph.owner(vid) == self.machine
+
+    def owner(self, vid):
+        return self._dgraph.owner(vid)
+
+    def local_vertices(self):
+        return self._dgraph.partitioner.local_vertices(self.machine)
+
+    def _check_local(self, vid):
+        if not self.is_local(vid):
+            raise GraphError(
+                f"machine {self.machine} accessed remote vertex {vid} "
+                f"(owner {self._dgraph.owner(vid)})"
+            )
+
+    # -- local reads ---------------------------------------------------
+    def vertex_has_label(self, vid, label_id):
+        self._check_local(vid)
+        return self.graph.vertex_has_label(vid, label_id)
+
+    def vertex_property(self, vid, name):
+        self._check_local(vid)
+        return self.graph.vprops.get(name, vid)
+
+    def vertex_label_name(self, vid):
+        self._check_local(vid)
+        return self.graph.vertex_label_name(vid)
+
+    def neighbor_runs(self, vid, direction, edge_label_id=None):
+        self._check_local(vid)
+        return self.graph.neighbor_runs(vid, direction, edge_label_id)
+
+    def degree(self, vid, direction=Direction.OUT):
+        self._check_local(vid)
+        return self.graph.degree(vid, direction)
+
+    def find_edge(self, src, dst, direction=Direction.OUT, edge_label_id=None):
+        """Edge lookup anchored at local vertex ``src`` (dst may be remote)."""
+        self._check_local(src)
+        return self.graph.find_edge(src, dst, direction, edge_label_id)
+
+    def edge_property(self, eid, name):
+        return self.graph.eprops.get(name, eid)

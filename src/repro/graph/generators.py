@@ -1,0 +1,109 @@
+"""Deterministic small-graph generators used by tests and micro-benches.
+
+All generators are seeded and produce :class:`PropertyGraph` instances with
+a single vertex label and a single edge label unless stated otherwise.  The
+LDBC-like benchmark graphs live in :mod:`repro.datagen` — these are the
+simple topologies (trees, cycles, cliques, random) used to exercise
+invariants.
+"""
+
+import random
+
+from .builder import GraphBuilder
+
+
+def chain_graph(n, vertex_label="Node", edge_label="NEXT"):
+    """A directed path ``0 -> 1 -> ... -> n-1``."""
+    b = GraphBuilder()
+    for i in range(n):
+        b.add_vertex(vertex_label, idx=i)
+    for i in range(n - 1):
+        b.add_edge(i, i + 1, edge_label)
+    return b.build()
+
+
+def cycle_graph(n, vertex_label="Node", edge_label="NEXT"):
+    """A directed cycle over ``n`` vertices."""
+    b = GraphBuilder()
+    for i in range(n):
+        b.add_vertex(vertex_label, idx=i)
+    for i in range(n):
+        b.add_edge(i, (i + 1) % n, edge_label)
+    return b.build()
+
+
+def complete_graph(n, vertex_label="Node", edge_label="LINK"):
+    """A complete directed graph (both directions, no self loops)."""
+    b = GraphBuilder()
+    for i in range(n):
+        b.add_vertex(vertex_label, idx=i)
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                b.add_edge(i, j, edge_label)
+    return b.build()
+
+
+def star_graph(n_leaves, vertex_label="Node", edge_label="LINK"):
+    """Vertex 0 points to ``n_leaves`` leaves."""
+    b = GraphBuilder()
+    b.add_vertex(vertex_label, idx=0)
+    for i in range(n_leaves):
+        leaf = b.add_vertex(vertex_label, idx=i + 1)
+        b.add_edge(0, leaf, edge_label)
+    return b.build()
+
+
+def reply_forest(num_roots, branching, depth, seed=7, edge_label="REPLY_OF"):
+    """A forest of reply trees: each reply points *to* its parent.
+
+    Mirrors the LDBC comment-tree shape (paper Section 4.4, Q9): roots are
+    ``Post`` vertices, replies are ``Comment`` vertices, and each comment has
+    a ``REPLY_OF`` edge toward its parent.  The number of children per node
+    is uniform in ``[0, branching]``, so expected subtree sizes decay with
+    depth (the explosion-then-decay shape of Table 2).
+    """
+    rng = random.Random(seed)
+    b = GraphBuilder()
+    frontier = []
+    for r in range(num_roots):
+        vid = b.add_vertex("Post", extra_labels=("Message",), idx=r)
+        frontier.append((vid, 0))
+    while frontier:
+        parent, d = frontier.pop()
+        if d >= depth:
+            continue
+        for _ in range(rng.randint(0, branching)):
+            child = b.add_vertex("Comment", extra_labels=("Message",))
+            b.add_edge(child, parent, edge_label)
+            frontier.append((child, d + 1))
+    return b.build()
+
+
+def random_graph(n, m, seed=7, vertex_label="Node", edge_label="LINK"):
+    """``n`` vertices, ``m`` uniformly random directed edges (dups allowed)."""
+    rng = random.Random(seed)
+    b = GraphBuilder()
+    for i in range(n):
+        b.add_vertex(vertex_label, idx=i)
+    for _ in range(m):
+        b.add_edge(rng.randrange(n), rng.randrange(n), edge_label)
+    return b.build()
+
+
+def two_label_graph(n, seed=7):
+    """Random graph with labels A/B on vertices and X/Y on edges.
+
+    Used by parser/planner tests that need label-selective patterns.
+    """
+    rng = random.Random(seed)
+    b = GraphBuilder()
+    for i in range(n):
+        b.add_vertex("A" if rng.random() < 0.5 else "B", idx=i, weight=rng.randint(0, 100))
+    for _ in range(3 * n):
+        b.add_edge(
+            rng.randrange(n),
+            rng.randrange(n),
+            "X" if rng.random() < 0.5 else "Y",
+        )
+    return b.build()

@@ -1,0 +1,50 @@
+"""Label interning.
+
+Vertex and edge labels are interned to small integer ids so that the hot
+traversal paths compare integers instead of strings.  Lookups are
+case-insensitive, matching PGQL's label semantics.
+"""
+
+from ..graph.types import ANY_LABEL
+
+
+class LabelTable:
+    """Bidirectional mapping between label strings and dense integer ids."""
+
+    def __init__(self):
+        self._by_name = {}
+        self._by_id = []
+
+    def __len__(self):
+        return len(self._by_id)
+
+    def __contains__(self, name):
+        return name.lower() in self._by_name
+
+    def intern(self, name):
+        """Return the id for ``name``, assigning a new one if unseen."""
+        key = name.lower()
+        label_id = self._by_name.get(key)
+        if label_id is None:
+            label_id = len(self._by_id)
+            self._by_name[key] = label_id
+            self._by_id.append(name)
+        return label_id
+
+    def id_of(self, name):
+        """Return the id for ``name`` or ``ANY_LABEL`` if unknown.
+
+        Unknown labels are not an error at query time: a pattern over a label
+        that does not occur in the graph simply matches nothing.
+        """
+        if name is None:
+            return ANY_LABEL
+        return self._by_name.get(name.lower(), None)
+
+    def name_of(self, label_id):
+        """Return the original (first-seen) spelling for ``label_id``."""
+        return self._by_id[label_id]
+
+    def names(self):
+        """Return all label names in id order."""
+        return list(self._by_id)

@@ -1,0 +1,74 @@
+"""Persistence: save/load property graphs as JSON-lines.
+
+The format is one JSON object per line:
+
+* ``{"kind": "vertex", "label": "Person", "extra": ["Message"], "props": {...}}``
+  — vertices appear in id order (the id is implicit);
+* ``{"kind": "edge", "src": 0, "dst": 1, "label": "KNOWS", "props": {...}}``.
+
+This is intentionally simple and diff-friendly; it exists so examples can
+ship small datasets and users can round-trip graphs.
+"""
+
+import json
+
+from ..errors import GraphError
+from .builder import GraphBuilder
+
+
+def save_graph(graph, path):
+    """Write ``graph`` to ``path`` in JSON-lines format."""
+    with open(path, "w") as fh:
+        for v in range(graph.num_vertices):
+            names = graph.vertex_label_names(v)
+            props = {
+                name: graph.vprops.get(name, v)
+                for name in graph.vprops.column_names
+                if graph.vprops.get(name, v) is not None
+            }
+            row = {"kind": "vertex", "label": names[0]}
+            if len(names) > 1:
+                row["extra"] = names[1:]
+            if props:
+                row["props"] = props
+            fh.write(json.dumps(row) + "\n")
+        for e in range(graph.num_edges):
+            props = {
+                name: graph.eprops.get(name, e)
+                for name in graph.eprops.column_names
+                if graph.eprops.get(name, e) is not None
+            }
+            row = {
+                "kind": "edge",
+                "src": graph.edge_src[e],
+                "dst": graph.edge_dst[e],
+                "label": graph.edge_label_name(e),
+            }
+            if props:
+                row["props"] = props
+            fh.write(json.dumps(row) + "\n")
+
+
+def load_graph(path):
+    """Read a JSON-lines graph written by :func:`save_graph`."""
+    builder = GraphBuilder()
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            kind = row.get("kind")
+            if kind == "vertex":
+                builder.add_vertex(
+                    row["label"],
+                    extra_labels=tuple(row.get("extra", ())),
+                    **row.get("props", {}),
+                )
+            elif kind == "edge":
+                builder.add_edge(
+                    row["src"], row["dst"], row["label"], **row.get("props", {})
+                )
+            else:
+                raise GraphError(f"{path}:{lineno}: unknown row kind {kind!r}")
+    return builder.build()

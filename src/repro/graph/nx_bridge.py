@@ -1,0 +1,62 @@
+"""Interop with NetworkX.
+
+``to_networkx`` exports a :class:`PropertyGraph` as a
+``networkx.MultiDiGraph`` (multi-edges and self-loops preserved; labels
+become the ``label``/``labels`` attributes); ``from_networkx`` imports any
+NetworkX (multi)digraph. Handy for visualization, for cross-checking
+against NetworkX algorithms, and for pulling in existing datasets.
+"""
+
+from .builder import GraphBuilder
+
+
+def to_networkx(graph):
+    """Export to a ``networkx.MultiDiGraph``."""
+    import networkx as nx
+
+    out = nx.MultiDiGraph()
+    prop_names = graph.vprops.column_names
+    for v in graph.vertices():
+        attrs = {"label": graph.vertex_label_name(v)}
+        extra = graph.vertex_label_names(v)[1:]
+        if extra:
+            attrs["labels"] = extra
+        for name in prop_names:
+            value = graph.vprops.get(name, v)
+            if value is not None:
+                attrs[name] = value
+        out.add_node(v, **attrs)
+    eprop_names = graph.eprops.column_names
+    for e in range(graph.num_edges):
+        attrs = {"label": graph.edge_label_name(e)}
+        for name in eprop_names:
+            value = graph.eprops.get(name, e)
+            if value is not None:
+                attrs[name] = value
+        out.add_edge(graph.edge_src[e], graph.edge_dst[e], **attrs)
+    return out
+
+
+def from_networkx(nx_graph, default_vertex_label="Node", default_edge_label="EDGE"):
+    """Import a NetworkX (multi)digraph; returns ``(graph, id_map)``.
+
+    Node/edge attribute ``label`` selects the repro label; ``labels`` (an
+    iterable) adds extra vertex labels; all other attributes become
+    properties. Undirected graphs are imported with one directed edge per
+    undirected edge (query with ``-[:X]-`` to traverse both ways).
+    """
+    builder = GraphBuilder()
+    id_map = {}
+    for node, attrs in nx_graph.nodes(data=True):
+        attrs = dict(attrs)
+        label = attrs.pop("label", default_vertex_label)
+        extra = tuple(attrs.pop("labels", ()))
+        id_map[node] = builder.add_vertex(label, extra_labels=extra, **attrs)
+    if nx_graph.is_multigraph():
+        edge_iter = ((u, v, dict(d)) for u, v, d in nx_graph.edges(data=True))
+    else:
+        edge_iter = ((u, v, dict(d)) for u, v, d in nx_graph.edges(data=True))
+    for u, v, attrs in edge_iter:
+        label = attrs.pop("label", default_edge_label)
+        builder.add_edge(id_map[u], id_map[v], label, **attrs)
+    return builder.build(), id_map

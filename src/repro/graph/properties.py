@@ -1,0 +1,76 @@
+"""Columnar property storage for vertices and edges.
+
+Vertex properties are stored as dense columns (one slot per vertex id),
+because query filters touch them on the traversal hot path.  Edge properties
+are stored sparsely (dict per column), since most edges in the LDBC-like
+workloads carry no properties.
+"""
+
+from ..errors import GraphError
+
+
+class DensePropertyStore:
+    """Dense columnar store: one value slot per element id.
+
+    Missing values read as ``None``, which compares as "unknown" in the
+    expression evaluator (any comparison with ``None`` is false).
+    """
+
+    def __init__(self, num_elements):
+        self._n = num_elements
+        self._columns = {}
+
+    @property
+    def column_names(self):
+        return list(self._columns)
+
+    def ensure_column(self, name):
+        col = self._columns.get(name)
+        if col is None:
+            col = [None] * self._n
+            self._columns[name] = col
+        return col
+
+    def set(self, name, element_id, value):
+        self.ensure_column(name)[element_id] = value
+
+    def get(self, name, element_id):
+        col = self._columns.get(name)
+        if col is None:
+            return None
+        return col[element_id]
+
+    def column(self, name):
+        """Return the raw column list for ``name`` (or ``None`` if absent)."""
+        return self._columns.get(name)
+
+    def grow(self, new_size):
+        if new_size < self._n:
+            raise GraphError("property store cannot shrink")
+        extra = new_size - self._n
+        for col in self._columns.values():
+            col.extend([None] * extra)
+        self._n = new_size
+
+
+class SparsePropertyStore:
+    """Sparse columnar store: dict of ``{element_id: value}`` per column."""
+
+    def __init__(self):
+        self._columns = {}
+
+    @property
+    def column_names(self):
+        return list(self._columns)
+
+    def set(self, name, element_id, value):
+        self._columns.setdefault(name, {})[element_id] = value
+
+    def get(self, name, element_id):
+        col = self._columns.get(name)
+        if col is None:
+            return None
+        return col.get(element_id)
+
+    def column(self, name):
+        return self._columns.get(name)

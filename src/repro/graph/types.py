@@ -1,0 +1,26 @@
+"""Shared primitive types for the graph subsystem."""
+
+import enum
+
+
+class Direction(enum.Enum):
+    """Edge traversal direction for neighbor iteration and edge checks."""
+
+    OUT = "out"
+    IN = "in"
+    BOTH = "both"
+
+    def reverse(self):
+        """Return the opposite direction (``BOTH`` is its own reverse)."""
+        if self is Direction.OUT:
+            return Direction.IN
+        if self is Direction.IN:
+            return Direction.OUT
+        return Direction.BOTH
+
+
+#: Sentinel edge id returned by lookups that find no edge.
+NO_EDGE = -1
+
+#: Sentinel label id meaning "any label".
+ANY_LABEL = -1

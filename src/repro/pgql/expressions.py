@@ -1,0 +1,293 @@
+"""Expression compilation and evaluation.
+
+Expressions are compiled once per plan into trees of closures.  The engine
+supplies a *binder* that resolves variable references to runtime accessors,
+so the same expression AST serves the distributed engine (values come from
+execution-context slots and local vertex reads) and the single-machine
+baselines (values come from a plain ``{var: vertex}`` dict).
+
+``None`` follows SQL ``NULL`` semantics for filters: any comparison against
+``None`` is false, arithmetic propagates ``None``, and boolean connectives
+treat ``None`` as false.
+"""
+
+from ..errors import PlanningError
+from .ast import (
+    Aggregate,
+    Binary,
+    FuncCall,
+    InList,
+    IsNull,
+    Literal,
+    PropRef,
+    Unary,
+    VarRef,
+)
+
+
+class Binder:
+    """Resolves expression variables to runtime accessor closures.
+
+    Engines subclass this.  Each method returns ``callable(state) -> value``
+    where ``state`` is whatever the engine passes to the compiled expression
+    at evaluation time.
+    """
+
+    def vertex(self, var):
+        """Accessor for the vertex id bound to ``var``."""
+        raise NotImplementedError
+
+    def prop(self, var, prop):
+        """Accessor for property ``prop`` of the element bound to ``var``."""
+        raise NotImplementedError
+
+    def label(self, var):
+        """Accessor for the (primary) label name of ``var``."""
+        raise NotImplementedError
+
+
+def _cmp(op):
+    def compare(a, b):
+        if a is None or b is None:
+            return False
+        try:
+            return op(a, b)
+        except TypeError:
+            return False
+
+    return compare
+
+
+_BINARY_OPS = {
+    "=": _cmp(lambda a, b: a == b),
+    "<>": _cmp(lambda a, b: a != b),
+    "<": _cmp(lambda a, b: a < b),
+    "<=": _cmp(lambda a, b: a <= b),
+    ">": _cmp(lambda a, b: a > b),
+    ">=": _cmp(lambda a, b: a >= b),
+}
+
+
+def _arith(op):
+    def apply(a, b):
+        if a is None or b is None:
+            return None
+        try:
+            return op(a, b)
+        except (TypeError, ZeroDivisionError):
+            return None
+
+    return apply
+
+
+_ARITH_OPS = {
+    "+": _arith(lambda a, b: a + b),
+    "-": _arith(lambda a, b: a - b),
+    "*": _arith(lambda a, b: a * b),
+    "/": _arith(lambda a, b: a / b),
+    "%": _arith(lambda a, b: a % b),
+}
+
+_SCALAR_FUNCS = {
+    "abs": lambda v: None if v is None else abs(v),
+    "lower": lambda v: None if v is None else str(v).lower(),
+    "upper": lambda v: None if v is None else str(v).upper(),
+    "length": lambda v: None if v is None else len(v),
+    "floor": lambda v: None if v is None else int(v // 1),
+    "ceil": lambda v: None if v is None else -int(-v // 1),
+}
+
+
+def compare_values(op, a, b):
+    """Apply comparison ``op`` with SQL NULL semantics (used by deferred
+    cross-filter checks in the planner)."""
+    return _BINARY_OPS[op](a, b)
+
+
+def binary_op_fn(op):
+    """Return the NULL-safe evaluator for a binary operator (or ``None``).
+
+    Used by the HAVING resolver, which evaluates expressions over result
+    rows instead of execution contexts.
+    """
+    return _BINARY_OPS.get(op) or _ARITH_OPS.get(op)
+
+
+def compile_expr(node, binder):
+    """Compile ``node`` into ``callable(state) -> value`` using ``binder``."""
+    if isinstance(node, Literal):
+        value = node.value
+        return lambda state: value
+
+    if isinstance(node, PropRef):
+        return binder.prop(node.var, node.prop)
+
+    if isinstance(node, VarRef):
+        return binder.vertex(node.var)
+
+    if isinstance(node, Unary):
+        inner = compile_expr(node.operand, binder)
+        if node.op == "not":
+            return lambda state: not inner(state)
+        if node.op == "-":
+            def negate(state):
+                v = inner(state)
+                return None if v is None else -v
+
+            return negate
+        raise PlanningError(f"unknown unary operator {node.op!r}")
+
+    if isinstance(node, Binary):
+        if node.op == "and":
+            left = compile_expr(node.left, binder)
+            right = compile_expr(node.right, binder)
+            return lambda state: bool(left(state)) and bool(right(state))
+        if node.op == "or":
+            left = compile_expr(node.left, binder)
+            right = compile_expr(node.right, binder)
+            return lambda state: bool(left(state)) or bool(right(state))
+        fn = _BINARY_OPS.get(node.op) or _ARITH_OPS.get(node.op)
+        if fn is None:
+            raise PlanningError(f"unknown binary operator {node.op!r}")
+        left = compile_expr(node.left, binder)
+        right = compile_expr(node.right, binder)
+        return lambda state: fn(left(state), right(state))
+
+    if isinstance(node, FuncCall):
+        if node.name == "id":
+            if len(node.args) != 1 or not isinstance(node.args[0], VarRef):
+                raise PlanningError("ID() takes a single pattern variable")
+            return binder.vertex(node.args[0].var)
+        if node.name in ("label", "labels"):
+            if len(node.args) != 1 or not isinstance(node.args[0], VarRef):
+                raise PlanningError(f"{node.name.upper()}() takes a single pattern variable")
+            return binder.label(node.args[0].var)
+        if node.name == "all_different":
+            # PGQL's ALL_DIFFERENT(v1, v2, ...): pairwise-distinct vertices,
+            # the standard tool for isomorphic-style matching on top of the
+            # engine's homomorphic semantics.
+            if len(node.args) < 2 or not all(
+                isinstance(a, VarRef) for a in node.args
+            ):
+                raise PlanningError(
+                    "ALL_DIFFERENT() takes two or more pattern variables"
+                )
+            readers = [binder.vertex(a.var) for a in node.args]
+
+            def all_different(state):
+                values = [r(state) for r in readers]
+                if any(v is None for v in values):
+                    return False
+                return len(set(values)) == len(values)
+
+            return all_different
+        if node.name == "coalesce":
+            parts = [compile_expr(a, binder) for a in node.args]
+
+            def coalesce(state):
+                for p in parts:
+                    v = p(state)
+                    if v is not None:
+                        return v
+                return None
+
+            return coalesce
+        fn = _SCALAR_FUNCS.get(node.name)
+        if fn is None:
+            raise PlanningError(f"unknown function {node.name!r}")
+        if len(node.args) != 1:
+            raise PlanningError(f"{node.name}() takes exactly one argument")
+        inner = compile_expr(node.args[0], binder)
+        return lambda state: fn(inner(state))
+
+    if isinstance(node, InList):
+        inner = compile_expr(node.operand, binder)
+        values = frozenset(v for v in node.values if v is not None)
+        if node.negated:
+            def not_in(state):
+                v = inner(state)
+                return v is not None and v not in values
+
+            return not_in
+
+        def in_list(state):
+            v = inner(state)
+            return v is not None and v in values
+
+        return in_list
+
+    if isinstance(node, IsNull):
+        inner = compile_expr(node.operand, binder)
+        if node.negated:
+            return lambda state: inner(state) is not None
+        return lambda state: inner(state) is None
+
+    if isinstance(node, Aggregate):
+        raise PlanningError(
+            "aggregates are only allowed in SELECT items, not in filters"
+        )
+
+    raise PlanningError(f"cannot compile expression node {node!r}")
+
+
+def fold_constants(node):
+    """Best-effort constant folding (literal-only subtrees collapse)."""
+    if isinstance(node, Unary):
+        inner = fold_constants(node.operand)
+        if isinstance(inner, Literal):
+            if node.op == "not":
+                return Literal(not inner.value)
+            if node.op == "-" and inner.value is not None:
+                return Literal(-inner.value)
+        return Unary(node.op, inner)
+    if isinstance(node, Binary):
+        left = fold_constants(node.left)
+        right = fold_constants(node.right)
+        if isinstance(left, Literal) and isinstance(right, Literal):
+            fn = _BINARY_OPS.get(node.op) or _ARITH_OPS.get(node.op)
+            if fn is not None:
+                return Literal(fn(left.value, right.value))
+            if node.op == "and":
+                return Literal(bool(left.value) and bool(right.value))
+            if node.op == "or":
+                return Literal(bool(left.value) or bool(right.value))
+        return Binary(node.op, left, right)
+    if isinstance(node, FuncCall):
+        return FuncCall(node.name, tuple(fold_constants(a) for a in node.args))
+    return node
+
+
+class DictBinder(Binder):
+    """Binder over a plain ``{var: vertex_id}`` mapping plus a graph.
+
+    Used by the single-machine baselines and by tests.  ``state`` at
+    evaluation time is the binding dict itself.
+    """
+
+    def __init__(self, graph):
+        self.graph = graph
+
+    def vertex(self, var):
+        return lambda binding: binding.get(var)
+
+    def prop(self, var, prop):
+        vprops = self.graph.vprops
+
+        def read(binding):
+            vid = binding.get(var)
+            if vid is None:
+                return None
+            return vprops.get(prop, vid)
+
+        return read
+
+    def label(self, var):
+        graph = self.graph
+
+        def read(binding):
+            vid = binding.get(var)
+            if vid is None:
+                return None
+            return graph.vertex_label_name(vid)
+
+        return read

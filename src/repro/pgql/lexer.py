@@ -1,0 +1,144 @@
+"""Tokenizer for the PGQL subset.
+
+Tokens are deliberately fine-grained: pattern arrows such as ``-[:KNOWS]->``
+or ``-/:p+/->`` are assembled by the parser from single-character tokens, so
+the lexer never has to guess whether ``<`` starts an arrow or a comparison.
+Only the unambiguous two-character comparison operators (``<=``, ``>=``,
+``<>``, ``!=``) are fused here.
+"""
+
+from dataclasses import dataclass
+
+from ..errors import PgqlSyntaxError
+
+#: Keywords recognized case-insensitively.  Anything else alphabetic lexes
+#: as an identifier (function names like COUNT are resolved by the parser).
+KEYWORDS = {
+    "select",
+    "from",
+    "match",
+    "where",
+    "path",
+    "as",
+    "and",
+    "or",
+    "not",
+    "true",
+    "false",
+    "null",
+    "distinct",
+    "group",
+    "order",
+    "by",
+    "limit",
+    "asc",
+    "desc",
+    "having",
+    "in",
+    "between",
+    "is",
+}
+
+PUNCT = set("()[]{}.,:|+*?/=<>-%!")
+TWO_CHAR_OPS = {"<=", ">=", "<>", "!="}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexed token.
+
+    Attributes:
+        kind: ``"ident"``, ``"keyword"``, ``"number"``, ``"string"``, or the
+            operator/punctuation text itself (e.g. ``"("``, ``"<="``).
+        text: the raw token text (keywords lower-cased).
+        pos: character offset into the query string.
+    """
+
+    kind: str
+    text: str
+    pos: int
+
+    def is_kw(self, word):
+        return self.kind == "keyword" and self.text == word
+
+
+EOF = Token("eof", "", -1)
+
+
+def tokenize(query):
+    """Tokenize ``query`` into a list of :class:`Token`.
+
+    Raises:
+        PgqlSyntaxError: on unterminated strings or unexpected characters.
+    """
+    tokens = []
+    i = 0
+    n = len(query)
+    while i < n:
+        ch = query[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and query.startswith("--", i):
+            # SQL-style line comment.
+            end = query.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch == "/" and query.startswith("/*", i):
+            end = query.find("*/", i + 2)
+            if end == -1:
+                raise PgqlSyntaxError("unterminated block comment", i)
+            i = end + 2
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (query[i].isalnum() or query[i] == "_"):
+                i += 1
+            word = query[start:i]
+            low = word.lower()
+            if low in KEYWORDS:
+                tokens.append(Token("keyword", low, start))
+            else:
+                tokens.append(Token("ident", word, start))
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and query[i].isdigit():
+                i += 1
+            if i < n and query[i] == "." and i + 1 < n and query[i + 1].isdigit():
+                i += 1
+                while i < n and query[i].isdigit():
+                    i += 1
+                tokens.append(Token("number", query[start:i], start))
+            else:
+                tokens.append(Token("number", query[start:i], start))
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            parts = []
+            while True:
+                if i >= n:
+                    raise PgqlSyntaxError("unterminated string literal", start)
+                if query[i] == "'":
+                    if i + 1 < n and query[i + 1] == "'":
+                        parts.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                parts.append(query[i])
+                i += 1
+            tokens.append(Token("string", "".join(parts), start))
+            continue
+        two = query[i : i + 2]
+        if two in TWO_CHAR_OPS:
+            tokens.append(Token(two, two, i))
+            i += 2
+            continue
+        if ch in PUNCT:
+            tokens.append(Token(ch, ch, i))
+            i += 1
+            continue
+        raise PgqlSyntaxError(f"unexpected character {ch!r}", i)
+    return tokens

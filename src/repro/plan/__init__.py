@@ -1,0 +1,52 @@
+"""Query planning: logical plan, heuristics, distributed stage automaton."""
+
+from .compiler import PlanCompiler, SlotBinder, compile_query
+from .explain import explain
+from .logical import (
+    EdgeMatchOp,
+    InspectOp,
+    LogicalPlan,
+    NeighborMatchOp,
+    OutputOp,
+    PatternGraph,
+    RpqMatchOp,
+    VertexMatchOp,
+)
+from .planner import Planner, build_pattern_graph
+from .stages import (
+    Capture,
+    DistributedPlan,
+    EdgeCapture,
+    Hop,
+    HopKind,
+    ProjectionSpec,
+    RpqSpec,
+    Stage,
+    StageKind,
+)
+
+__all__ = [
+    "Capture",
+    "DistributedPlan",
+    "EdgeCapture",
+    "EdgeMatchOp",
+    "Hop",
+    "HopKind",
+    "InspectOp",
+    "LogicalPlan",
+    "NeighborMatchOp",
+    "OutputOp",
+    "PatternGraph",
+    "PlanCompiler",
+    "Planner",
+    "ProjectionSpec",
+    "RpqMatchOp",
+    "RpqSpec",
+    "SlotBinder",
+    "Stage",
+    "StageKind",
+    "VertexMatchOp",
+    "build_pattern_graph",
+    "compile_query",
+    "explain",
+]

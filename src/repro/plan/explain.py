@@ -1,0 +1,58 @@
+"""Human-readable rendering of distributed plans (EXPLAIN output)."""
+
+from .stages import HopKind
+
+
+def explain(plan, stats=None):
+    """Return a multi-line string describing a :class:`DistributedPlan`.
+
+    With ``stats`` (a :class:`~repro.runtime.stats.RunStats` from an
+    execution of this plan) each stage line is annotated with its actual
+    match count — an EXPLAIN ANALYZE.
+    """
+    matches = stats.stage_matches if stats is not None else None
+    lines = [
+        f"DistributedPlan: {plan.num_stages} stages, {plan.num_slots} context slots, "
+        f"{plan.rpq_count} RPQ segment(s)"
+    ]
+    if plan.bootstrap_single_vertex is not None:
+        lines.append(f"bootstrap: single vertex id={plan.bootstrap_single_vertex}")
+    for stage in plan.stages:
+        parts = [f"S{stage.index} {stage.kind.value}"]
+        if stage.var:
+            parts.append(f"var={stage.var}")
+        if stage.label_ids:
+            parts.append(f"labels={stage.label_ids}")
+        if stage.filter is not None:
+            parts.append("filtered")
+        if stage.captures:
+            parts.append(f"captures={len(stage.captures)}")
+        if stage.acc_updates:
+            parts.append(f"acc_updates={len(stage.acc_updates)}")
+        if stage.rpq is not None:
+            spec = stage.rpq
+            bound = "inf" if spec.max_hops is None else spec.max_hops
+            parts.append(
+                f"rpq#{spec.rpq_id}[{spec.min_hops},{bound}] "
+                f"path={list(spec.path_stages)} exit=S{spec.exit_stage}"
+            )
+        hop = stage.hop
+        if hop is not None:
+            if hop.kind is HopKind.OUTPUT:
+                parts.append("=> OUTPUT")
+            else:
+                extra = ""
+                if hop.kind is HopKind.NEIGHBOR:
+                    extra = f" dir={hop.direction.value} labels={hop.edge_label_ids}"
+                elif hop.kind is HopKind.EDGE:
+                    extra = f" dir={hop.direction.value} anchor_slot={hop.anchor_slot}"
+                elif hop.kind is HopKind.INSPECT:
+                    extra = f" anchor_slot={hop.anchor_slot}"
+                elif hop.kind is HopKind.TRANSITION and hop.control_entry:
+                    extra = f" control_entry={hop.control_entry}"
+                parts.append(f"=> {hop.kind.value} S{hop.target}{extra}")
+        if matches is not None:
+            parts.append(f"[matches={matches.get(stage.index, 0):,}]")
+        lines.append("  " + " ".join(parts))
+    lines.append("slots: " + ", ".join(f"{i}:{n}" for i, n in enumerate(plan.slot_names)))
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""RPQ core: rpid encoding, reachability index, control-stage semantics."""
+
+from .control import ACTION_EXIT, ACTION_PATH, RpqController
+from .reachability import ENTRY_BYTES, IndexOutcome, ReachabilityIndex
+from .rpid import (
+    MAX_MACHINES,
+    MAX_SEQ,
+    MAX_WORKERS,
+    RpidAllocator,
+    make_source_path_id,
+    unpack_source_path_id,
+)
+
+__all__ = [
+    "ACTION_EXIT",
+    "ACTION_PATH",
+    "ENTRY_BYTES",
+    "IndexOutcome",
+    "MAX_MACHINES",
+    "MAX_SEQ",
+    "MAX_WORKERS",
+    "ReachabilityIndex",
+    "RpidAllocator",
+    "RpqController",
+    "make_source_path_id",
+    "unpack_source_path_id",
+]

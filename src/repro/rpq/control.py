@@ -1,0 +1,107 @@
+"""RPQ control-stage semantics — paper Sections 3.2 and 3.5.
+
+The control stage is entered in one of two modes:
+
+* ``init`` — a source path arrives from the preceding (non-RPQ) stage via a
+  transition hop: depth is set to 0, a source path id (rpid) is allocated by
+  the worker, and deferred cross-filter accumulators are reset;
+* ``advance`` — the last path stage of a repetition transitions back:
+  depth is incremented.
+
+The control stage then decides, per the paper:
+
+* ``depth < min_hop`` — continue path matching only;
+* ``min_hop <= depth <= max_hop`` — atomically check/update the
+  reachability index; on a fresh insert, transition to the exit stage
+  (toward output) *and* to the path stages for larger depths; an
+  ``ELIMINATED`` outcome declines the match and backtracks; a
+  ``DUPLICATED`` outcome emits nothing but may keep exploring deeper;
+* ``depth = max_hop`` stops deeper exploration (``depth > max_hop`` never
+  occurs because continuation is cut at the boundary).
+
+All slot writes (depth, rpid, accumulator resets) are recorded in the DFT
+frame's undo log, so backtracking restores the context of the enclosing
+repetition exactly.
+"""
+
+from .reachability import IndexOutcome
+
+#: Control-stage actions, iterated in order by the worker's DFT frame.  The
+#: exit transition comes first: materializing results early is what keeps
+#: the engine's runtime memory low (paper Section 4.4).
+ACTION_EXIT = "exit"
+ACTION_PATH = "path"
+
+
+#: Base bookkeeping cost of a control-stage entry (no index interaction).
+ENTRY_COST = 0.2
+
+
+class RpqController:
+    """Executes control-stage entries for one RPQ segment on one machine."""
+
+    def __init__(self, spec, index, stats, tracker, use_index=True, cost=None):
+        self.spec = spec
+        self.index = index  # this machine's ReachabilityIndex shard (or None)
+        self.stats = stats
+        self.tracker = tracker
+        self.use_index = use_index and index is not None
+        insert = cost.index_insert if cost is not None else 1.4
+        if self.use_index and index.preallocated:
+            # Bulk-preallocated first level: inserts skip the dynamic
+            # allocation (paper Section 4.5 future work).
+            insert = cost.index_insert_prealloc if cost is not None else 0.7
+        self._insert_cost = insert
+        self._hit_cost = cost.index_hit if cost is not None else 0.6
+
+    def on_entry(self, frame, ctx, entry_mode, rpid_allocator):
+        """Process a control-stage entry; returns ``(actions, cost)``.
+
+        ``frame.undo`` receives (slot, old value) pairs for every write so
+        backtracking restores the enclosing repetition's view.  The cost
+        reflects the index interaction: inserts (which dynamically allocate
+        second-level entries — the Figure 3 overhead) cost more than probes
+        that hit existing entries, and skipping the index is cheapest.
+        """
+        spec = self.spec
+        undo = frame.undo
+        if entry_mode == "init":
+            undo.append((spec.depth_slot, ctx[spec.depth_slot]))
+            ctx[spec.depth_slot] = 0
+            undo.append((spec.rpid_slot, ctx[spec.rpid_slot]))
+            ctx[spec.rpid_slot] = rpid_allocator.allocate()
+            for slot, _kind in spec.accumulator_inits:
+                undo.append((slot, ctx[slot]))
+                ctx[slot] = None
+            depth = 0
+        else:
+            old = ctx[spec.depth_slot]
+            undo.append((spec.depth_slot, old))
+            depth = old + 1
+            ctx[spec.depth_slot] = depth
+
+        self.stats.record_control_match(spec.rpq_id, depth)
+        self.tracker.observe_depth(spec.rpq_id, depth)
+
+        can_deepen = spec.max_hops is None or depth < spec.max_hops
+        if depth < spec.min_hops:
+            return ([ACTION_PATH] if can_deepen else []), ENTRY_COST
+
+        cost = ENTRY_COST
+        if self.use_index:
+            outcome = self.index.check_and_update(
+                ctx[spec.rpid_slot], frame.vertex, depth
+            )
+            if outcome is IndexOutcome.ELIMINATED:
+                self.stats.record_eliminated(spec.rpq_id, depth)
+                return [], cost + self._hit_cost
+            if outcome is IndexOutcome.DUPLICATED:
+                self.stats.record_duplicated(spec.rpq_id, depth)
+                actions = [ACTION_PATH] if can_deepen else []
+                return actions, cost + self._hit_cost
+            cost += self._insert_cost
+
+        actions = [ACTION_EXIT]
+        if can_deepen:
+            actions.append(ACTION_PATH)
+        return actions, cost

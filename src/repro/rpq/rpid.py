@@ -1,0 +1,51 @@
+"""Reachability path id (rpid) encoding — paper Section 3.5.
+
+A source path id packs ``(machineId, workerId, seqId)`` into one 64-bit
+integer: 8 bits of machine, 8 bits of worker, 48 bits of thread-local
+sequence.  This exploits the fact that in a DFT engine every path is
+processed by a single worker before entering the RPQ stage, so
+``(machine, worker)`` plus a local counter is globally unique without
+coordination.  The full rpid is the pair ``(source path id, destination
+vertex id)`` — two 64-bit words; the index stores them as map keys.
+"""
+
+MACHINE_BITS = 8
+WORKER_BITS = 8
+SEQ_BITS = 48
+
+MAX_MACHINES = 1 << MACHINE_BITS
+MAX_WORKERS = 1 << WORKER_BITS
+MAX_SEQ = 1 << SEQ_BITS
+
+
+def make_source_path_id(machine_id, worker_id, seq):
+    """Pack a source path id into a single integer."""
+    if not 0 <= machine_id < MAX_MACHINES:
+        raise ValueError(f"machine_id {machine_id} out of range")
+    if not 0 <= worker_id < MAX_WORKERS:
+        raise ValueError(f"worker_id {worker_id} out of range")
+    if not 0 <= seq < MAX_SEQ:
+        raise ValueError(f"seq {seq} out of range")
+    return (machine_id << (WORKER_BITS + SEQ_BITS)) | (worker_id << SEQ_BITS) | seq
+
+
+def unpack_source_path_id(spid):
+    """Inverse of :func:`make_source_path_id`: ``(machine, worker, seq)``."""
+    machine_id = spid >> (WORKER_BITS + SEQ_BITS)
+    worker_id = (spid >> SEQ_BITS) & (MAX_WORKERS - 1)
+    seq = spid & (MAX_SEQ - 1)
+    return machine_id, worker_id, seq
+
+
+class RpidAllocator:
+    """Per-worker sequence allocator for source path ids."""
+
+    def __init__(self, machine_id, worker_id):
+        self._base_machine = machine_id
+        self._base_worker = worker_id
+        self._next = 0
+
+    def allocate(self):
+        spid = make_source_path_id(self._base_machine, self._base_worker, self._next)
+        self._next += 1
+        return spid

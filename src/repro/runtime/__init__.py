@@ -1,0 +1,33 @@
+"""Distributed runtime: simulated machines, messaging, flow control,
+termination detection, and the cooperative scheduler."""
+
+from .buffers import FlowControl, SHARED, remote_target_stages
+from .machine import Machine
+from .message import Batch, DoneMessage, StatusMessage
+from .network import SimulatedNetwork
+from .scheduler import QueryExecution, STATUS_INTERVAL
+from .stats import MachineStats, RunStats
+from .termination import TerminationEvaluator, TerminationProtocol, TerminationTracker
+from .worker import EvalState, Frame, Job, Worker
+
+__all__ = [
+    "Batch",
+    "DoneMessage",
+    "EvalState",
+    "FlowControl",
+    "Frame",
+    "Job",
+    "Machine",
+    "MachineStats",
+    "QueryExecution",
+    "RunStats",
+    "SHARED",
+    "STATUS_INTERVAL",
+    "SimulatedNetwork",
+    "StatusMessage",
+    "TerminationEvaluator",
+    "TerminationProtocol",
+    "TerminationTracker",
+    "Worker",
+    "remote_target_stages",
+]

@@ -1,0 +1,105 @@
+"""Credit-based flow control over a fixed pool of message buffers.
+
+Mirrors paper Section 3.3: each machine owns a fixed buffer budget,
+partitioned equally among (destination machine, stage); RPQ path stages are
+further partitioned per depth up to a configured depth ``D``; depths beyond
+``D`` share a per-stage allowance plus per-depth *overflow* buffers that
+break flow-control livelocks.  A buffer's credit is returned when the
+destination sends a ``DONE`` message after fully processing the batch.
+"""
+
+from ..plan.stages import HopKind, StageKind
+
+#: Depth-class token for the shared bucket covering all depths >= D.
+SHARED = "shared"
+
+
+def remote_target_stages(plan):
+    """Stage indexes that can receive batches from another machine."""
+    targets = set()
+    for stage in plan.stages:
+        hop = stage.hop
+        if hop is not None and hop.kind in (HopKind.NEIGHBOR, HopKind.INSPECT):
+            targets.add(hop.target)
+    return sorted(targets)
+
+
+class FlowControl:
+    """Sender-side credit accounting for one machine."""
+
+    def __init__(self, machine_id, plan, config, stats):
+        self.machine_id = machine_id
+        self.config = config
+        self.stats = stats
+        self._in_flight = {}
+        self._capacity = {}
+        self._overflow_capacity = config.rpq_overflow_per_depth
+        self._total_in_flight = 0
+
+        targets = remote_target_stages(plan)
+        peers = max(1, config.num_machines - 1)
+        share = max(2, config.buffers_per_machine // max(1, len(targets) * peers))
+        depth_d = config.rpq_flow_depth
+        for dst in range(config.num_machines):
+            if dst == machine_id:
+                continue
+            for stage_idx in targets:
+                stage = plan.stages[stage_idx]
+                if stage.kind is StageKind.PATH:
+                    per_depth = max(1, share // (depth_d + 1))
+                    for d in range(depth_d):
+                        self._capacity[(dst, stage_idx, d)] = per_depth
+                    self._capacity[(dst, stage_idx, SHARED)] = config.rpq_shared_credits
+                else:
+                    self._capacity[(dst, stage_idx, 0)] = share
+
+    def _key_candidates(self, dst, stage_idx, depth, is_path_stage):
+        if not is_path_stage:
+            return [((dst, stage_idx, 0), False)]
+        if depth < self.config.rpq_flow_depth:
+            return [((dst, stage_idx, depth), False)]
+        return [
+            ((dst, stage_idx, SHARED), False),
+            ((dst, stage_idx, ("ovf", depth)), True),
+        ]
+
+    def try_acquire(self, dst, stage_idx, depth, is_path_stage):
+        """Acquire a send credit; returns the bucket key or ``None``.
+
+        Overflow buckets (depth >= D) are created lazily and only used when
+        the shared bucket is exhausted (paper: one extra overflow message
+        per depth to prevent livelocks).
+        """
+        for key, is_overflow in self._key_candidates(dst, stage_idx, depth, is_path_stage):
+            capacity = (
+                self._overflow_capacity if is_overflow else self._capacity.get(key, 0)
+            )
+            used = self._in_flight.get(key, 0)
+            if used < capacity:
+                self._in_flight[key] = used + 1
+                self._total_in_flight += 1
+                if is_overflow:
+                    self.stats.overflow_grants += 1
+                if self._total_in_flight > self.stats.peak_inflight_buffers:
+                    self.stats.peak_inflight_buffers = self._total_in_flight
+                return key
+        return None
+
+    def release(self, key):
+        """Return a credit (on DONE receipt)."""
+        used = self._in_flight.get(key, 0)
+        if used <= 0:
+            raise RuntimeError(f"credit underflow for bucket {key!r}")
+        self._in_flight[key] = used - 1
+        self._total_in_flight -= 1
+
+    @property
+    def in_flight(self):
+        return self._total_in_flight
+
+    def capacity_of(self, dst, stage_idx, depth, is_path_stage):
+        """Configured capacity of the bucket(s) covering this destination."""
+        total = 0
+        for key, is_overflow in self._key_candidates(dst, stage_idx, depth, is_path_stage):
+            total += self._overflow_capacity if is_overflow else self._capacity.get(key, 0)
+        return total

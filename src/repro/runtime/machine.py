@@ -1,0 +1,278 @@
+"""A simulated cluster machine.
+
+Owns a graph partition, a set of DFT workers, per-stage inboxes with the
+paper's receive priority (deeper depth first, later stage first), outgoing
+batch buffers under flow control, a shard of every RPQ segment's
+reachability index, and the termination-protocol state.
+"""
+
+import heapq
+
+from ..rpq.control import RpqController
+from ..rpq.reachability import ReachabilityIndex
+from .buffers import FlowControl
+from .message import Batch, DoneMessage, StatusMessage
+from .stats import MachineStats
+from .termination import TerminationProtocol, TerminationTracker
+from .worker import Worker
+
+
+class Machine:
+    """One machine of the simulated cluster."""
+
+    def __init__(self, machine_id, dgraph, plan, config, network, output_sink):
+        self.id = machine_id
+        self.plan = plan
+        self.config = config
+        self.network = network
+        self.partition = dgraph.partition(machine_id)
+        self.output_sink = output_sink
+        self.stats = MachineStats()
+        self.tracker = TerminationTracker(machine_id)
+        self.protocol = TerminationProtocol(
+            machine_id, plan, config.num_machines, self.tracker
+        )
+        self.flow = FlowControl(machine_id, plan, config, self.stats)
+        self.current_round = 0
+
+        self._inbox = []  # heap of (priority, Batch)
+        self._absorbed = 0  # batches absorbed into workers, not yet completed
+        self._open = {}  # (dst, stage, depth) -> partially filled Batch
+        self._blocked_flush_reported = set()
+        self._path_stage_set = set()
+        for spec in plan.rpq_specs():
+            self._path_stage_set.update(spec.path_stages)
+
+        # Reachability index shards and control-stage drivers.
+        self.indexes = {}
+        self.controllers = {}
+        local_count = sum(1 for _ in self.partition.local_vertices())
+        for stage in plan.stages:
+            if stage.rpq is not None:
+                index = ReachabilityIndex(
+                    machine_id,
+                    stage.rpq.rpq_id,
+                    preallocate_size=local_count if config.index_preallocate else None,
+                )
+                self.indexes[stage.rpq.rpq_id] = index
+                self.controllers[stage.index] = RpqController(
+                    stage.rpq,
+                    index,
+                    self.stats,
+                    self.tracker,
+                    use_index=config.use_reachability_index,
+                    cost=config.cost,
+                )
+
+        # Workers and bootstrap work assignment.
+        self.workers = [Worker(self, w) for w in range(config.workers_per_machine)]
+        self._assign_bootstrap_roots(plan)
+
+    def _assign_bootstrap_roots(self, plan):
+        if plan.bootstrap_single_vertex is not None:
+            v = plan.bootstrap_single_vertex
+            roots = [v] if (
+                0 <= v < self.partition.graph.num_vertices and self.partition.is_local(v)
+            ) else []
+        else:
+            roots = list(self.partition.local_vertices())
+        # Shared machine-level queue: idle workers pull the next root, so
+        # one worker hitting a huge subtree doesn't strand the roots that a
+        # static per-worker split would have pinned to it.
+        from collections import deque
+
+        self._bootstrap_queue = deque(roots)
+        # Each bootstrap root is a stage-0 work unit for termination counting.
+        if roots:
+            self.tracker.sent[(0, 0)] += len(roots)
+
+    def pop_bootstrap_root(self):
+        """Next unexplored bootstrap root, or ``None`` when exhausted."""
+        if self._bootstrap_queue:
+            return self._bootstrap_queue.popleft()
+        return None
+
+    def bootstrap_pending(self):
+        return bool(self._bootstrap_queue)
+
+    # ------------------------------------------------------------------
+    # Message delivery (called by the scheduler each round)
+    # ------------------------------------------------------------------
+    def deliver(self, messages):
+        fifo = self.config.receive_priority == "fifo"
+        for message in messages:
+            if isinstance(message, Batch):
+                priority = (0, 0, message.seq) if fifo else message.priority
+                heapq.heappush(self._inbox, (priority, message))
+            elif isinstance(message, DoneMessage):
+                self.flow.release(message.credit_key)
+            elif isinstance(message, StatusMessage):
+                self.protocol.on_status(message)
+            else:
+                raise AssertionError(f"unknown message {message!r}")
+
+    def has_inbox(self):
+        return bool(self._inbox)
+
+    def pop_batch(self):
+        """Dequeue the highest-priority batch and release its buffer.
+
+        The DONE message (credit return) is sent at *absorption* time: the
+        contexts move from the message buffer into the worker's execution
+        contexts ("preallocated up to a predetermined depth and dynamically
+        allocated if further needed", paper Section 3.1), so the buffer is
+        free before the DFT work completes.  This is what keeps the credit
+        dependency acyclic — a buffer release never waits on downstream
+        sends — at the cost of not fully bounding RPQ context memory, which
+        the paper concedes for RPQs (Section 3.3).
+        """
+        batch = heapq.heappop(self._inbox)[1]
+        self.network.send(
+            DoneMessage(
+                src_machine=self.id,
+                dst_machine=batch.src_machine,
+                credit_key=batch.credit_key,
+            ),
+            self.current_round,
+        )
+        self.stats.done_messages += 1
+        self._absorbed += 1
+        if self._absorbed > self.stats.peak_absorbed_batches:
+            self.stats.peak_absorbed_batches = self._absorbed
+        return batch
+
+    def complete_batch(self, batch):
+        """Account a fully-processed batch (termination protocol unit)."""
+        self.tracker.record_processed(batch.target_stage, batch.depth)
+        self._absorbed -= 1
+
+    # ------------------------------------------------------------------
+    # Outgoing batches under flow control
+    # ------------------------------------------------------------------
+    def try_emit(self, dst, stage_idx, depth, vertex, ctx):
+        """Append a context to the open batch for ``(dst, stage, depth)``.
+
+        Returns ``False`` when the open batch is full and flow control has
+        no credit to send it — the caller must not advance and should do
+        other work (the paper's blocking behaviour).
+        """
+        key = (dst, stage_idx, depth)
+        batch = self._open.get(key)
+        if batch is not None and len(batch) >= self.config.batch_size:
+            if not self._flush(key):
+                if key not in self._blocked_flush_reported:
+                    self.stats.flow_control_blocks += 1
+                    self._blocked_flush_reported.add(key)
+                return False
+            batch = None
+        if batch is None:
+            batch = Batch(
+                src_machine=self.id,
+                dst_machine=dst,
+                target_stage=stage_idx,
+                depth=depth,
+            )
+            self._open[key] = batch
+            # Counted at creation so partially-filled buffers are visible to
+            # the termination protocol.
+            self.tracker.record_sent(stage_idx, depth)
+        batch.add(vertex, ctx)
+        if (
+            ctx is not None
+            and depth > self.config.context_prealloc_depth
+            and stage_idx in self._path_stage_set
+        ):
+            self.stats.dynamic_context_allocs += 1
+        if len(batch) >= self.config.batch_size:
+            self._flush(key)  # best effort; retried on next emit or idle
+        return True
+
+    def _flush(self, key):
+        batch = self._open.get(key)
+        if batch is None or len(batch) == 0:
+            return True
+        dst, stage_idx, depth = key
+        credit = self.flow.try_acquire(
+            dst, stage_idx, depth, stage_idx in self._path_stage_set
+        )
+        if credit is None:
+            return False
+        batch.credit_key = credit
+        del self._open[key]
+        self._blocked_flush_reported.discard(key)
+        self.network.send(batch, self.current_round)
+        self.stats.batches_sent += 1
+        self.stats.contexts_sent += len(batch)
+        self.stats.bytes_sent += batch.modelled_bytes(self.plan.num_slots)
+        return True
+
+    def flush_partials(self):
+        """Flush all non-empty open batches (called when workers idle)."""
+        flushed = 0
+        for key in list(self._open.keys()):
+            if len(self._open[key]) > 0:
+                if self._flush(key):
+                    flushed += 1
+                elif key not in self._blocked_flush_reported:
+                    self.stats.flow_control_blocks += 1
+                    self._blocked_flush_reported.add(key)
+        return flushed
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_round(self, round_no):
+        """Run one scheduler round; returns cost units consumed."""
+        self.current_round = round_no
+        budget_each = self.config.quantum / len(self.workers)
+        consumed = 0.0
+        for worker in self.workers:
+            consumed += worker.run(budget_each)
+        if self._open:
+            # End-of-round timeout flush: buffers that did not fill during
+            # the round are sent anyway so sparse stages are not
+            # latency-bound on idleness (the real engine sends
+            # asynchronously once full *or* on timeout).
+            flushed = self.flush_partials()
+            if flushed:
+                consumed += self.config.cost.message_fixed * flushed
+        if consumed > 0.0:
+            self.stats.busy_rounds += 1
+        else:
+            self.stats.idle_rounds += 1
+        self.stats.cost_units += consumed
+        return consumed
+
+    def emit_output(self, ctx):
+        self.stats.outputs += 1
+        self.output_sink.add(ctx)
+
+    # ------------------------------------------------------------------
+    # Termination protocol
+    # ------------------------------------------------------------------
+    def broadcast_status(self, round_no):
+        self.tracker.generation += 1
+        for dst in range(self.config.num_machines):
+            if dst != self.id:
+                self.network.send(self.tracker.snapshot(dst), round_no)
+                self.stats.status_messages += 1
+
+    def check_termination(self):
+        return self.protocol.check()
+
+    # ------------------------------------------------------------------
+    # Ground truth (used by the scheduler's safety checks and tests)
+    # ------------------------------------------------------------------
+    def is_quiescent(self):
+        if self._inbox:
+            return False
+        if any(len(b) > 0 for b in self._open.values()):
+            return False
+        return all(not w.jobs and w.idle for w in self.workers)
+
+    def finalize_stats(self):
+        for rpq_id, index in self.indexes.items():
+            self.stats.index_inserts += index.inserts
+            self.stats.index_updates += index.updates
+            self.stats.index_entries += index.entries
+            self.stats.index_prealloc_bytes += index.prealloc_bytes

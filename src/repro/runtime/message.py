@@ -1,0 +1,72 @@
+"""Messages exchanged between simulated machines.
+
+Data traffic is batched: a :class:`Batch` carries many serialized execution
+contexts addressed to one ``(machine, stage, depth)``.  Control traffic is
+small fixed-size messages: ``DONE`` (flow-control credit return, paper
+Section 3.3) and ``STATUS`` (termination-protocol snapshot broadcast, paper
+Section 3.4).
+"""
+
+import itertools
+from dataclasses import dataclass, field
+
+_seq = itertools.count()
+
+#: Modelled wire overhead per message, bytes.
+HEADER_BYTES = 64
+#: Modelled bytes per context slot (the paper's contexts are fixed-layout
+#: records of 8-byte values).
+SLOT_BYTES = 8
+#: Modelled size of a control message (DONE / STATUS), bytes.
+CONTROL_BYTES = 96
+
+
+@dataclass
+class Batch:
+    """A buffer of execution contexts bound for one stage of one machine."""
+
+    src_machine: int
+    dst_machine: int
+    target_stage: int
+    depth: int  # 0 for non-RPQ stages
+    credit_key: object = None  # flow-control bucket that backed this send
+    contexts: list = field(default_factory=list)  # [(vertex, ctx_list)]
+    seq: int = field(default_factory=lambda: next(_seq))
+
+    def add(self, vertex, ctx):
+        """Serialize one context into the batch (defensive copy)."""
+        self.contexts.append((vertex, list(ctx)))
+
+    def __len__(self):
+        return len(self.contexts)
+
+    def modelled_bytes(self, num_slots):
+        return HEADER_BYTES + len(self.contexts) * (8 + num_slots * SLOT_BYTES)
+
+    @property
+    def priority(self):
+        """Receive priority: larger depth first, later stage first."""
+        return (-self.depth, -self.target_stage, self.seq)
+
+
+@dataclass
+class DoneMessage:
+    """Credit return: the destination fully processed one batch."""
+
+    src_machine: int  # machine that processed the batch
+    dst_machine: int  # machine that sent the batch (credit owner)
+    credit_key: object = None
+    seq: int = field(default_factory=lambda: next(_seq))
+
+
+@dataclass
+class StatusMessage:
+    """Termination-protocol snapshot broadcast from one machine."""
+
+    src_machine: int
+    dst_machine: int
+    generation: int = 0
+    sent: dict = field(default_factory=dict)  # {(stage, depth): n}
+    processed: dict = field(default_factory=dict)
+    max_depths: dict = field(default_factory=dict)  # {rpq_id: max observed}
+    seq: int = field(default_factory=lambda: next(_seq))

@@ -1,0 +1,73 @@
+"""The simulated interconnect.
+
+Messages sent in round ``r`` become deliverable in round
+``r + net_delay_rounds``.  Delivery order within a round is deterministic
+(by send sequence).  The network is reliable — the paper's messaging layer
+"handles any faults" — but test hooks can inject extra per-message delay or
+duplicate deliveries to exercise protocol robustness.
+"""
+
+import heapq
+
+from .message import Batch, CONTROL_BYTES, DoneMessage, StatusMessage
+
+
+class SimulatedNetwork:
+    """Deterministic store-and-forward network between machines."""
+
+    def __init__(self, num_machines, net_delay_rounds=1, num_slots=0):
+        self.num_machines = num_machines
+        self.delay = net_delay_rounds
+        self.num_slots = num_slots
+        self._queues = [[] for _ in range(num_machines)]  # heaps per dst
+        self._counter = 0
+        self.total_messages = 0
+        self.total_bytes = 0
+        # Test hooks: fn(message) -> extra delay rounds; fn(message) -> bool
+        # (duplicate delivery one round later).
+        self.extra_delay_fn = None
+        self.duplicate_fn = None
+
+    def send(self, message, now_round):
+        """Enqueue ``message`` for delivery to ``message.dst_machine``."""
+        delay = self.delay
+        if self.extra_delay_fn is not None:
+            delay += int(self.extra_delay_fn(message))
+        self._push(message.dst_machine, now_round + delay, message)
+        self.total_messages += 1
+        self.total_bytes += self._modelled_bytes(message)
+        if self.duplicate_fn is not None and self.duplicate_fn(message):
+            self._push(message.dst_machine, now_round + delay + 1, message)
+
+    def _push(self, dst, round_, message):
+        self._counter += 1
+        heapq.heappush(self._queues[dst], (round_, self._counter, message))
+
+    def _modelled_bytes(self, message):
+        if isinstance(message, Batch):
+            return message.modelled_bytes(self.num_slots)
+        return CONTROL_BYTES
+
+    def drain(self, machine_id, now_round):
+        """Pop all messages deliverable to ``machine_id`` by ``now_round``."""
+        queue = self._queues[machine_id]
+        out = []
+        while queue and queue[0][0] <= now_round:
+            out.append(heapq.heappop(queue)[2])
+        return out
+
+    def pending(self):
+        """Total undelivered messages (ground-truth check for tests)."""
+        return sum(len(q) for q in self._queues)
+
+    def pending_kinds(self):
+        counts = {"batch": 0, "done": 0, "status": 0}
+        for queue in self._queues:
+            for _, _, message in queue:
+                if isinstance(message, Batch):
+                    counts["batch"] += 1
+                elif isinstance(message, DoneMessage):
+                    counts["done"] += 1
+                elif isinstance(message, StatusMessage):
+                    counts["status"] += 1
+        return counts

@@ -1,0 +1,137 @@
+"""The cooperative cluster scheduler and virtual-time model.
+
+The scheduler runs rounds.  In each round every machine (in id order)
+receives its deliverable messages and then spends up to ``config.quantum``
+cost units of work across its workers.  Messages sent in round ``r`` are
+deliverable in round ``r + net_delay_rounds``.  The **virtual makespan** —
+the number of rounds until the termination protocol concludes on every
+machine — is the latency metric reported by the benchmarks: it preserves the
+paper's relative shapes (scaling with machine count, single-machine
+bottlenecks on narrow starts, flow-control stalls costing real time) without
+depending on Python wall-clock behaviour.
+
+The scheduler also watches ground truth as a safety net: if no machine makes
+progress for a long stretch it distinguishes a flow-control deadlock (work
+outstanding, everyone blocked) from a termination-protocol failure (cluster
+quiescent, protocol never concluding) and raises accordingly — both would be
+bugs, and tests assert they never happen.
+"""
+
+import time
+
+from ..errors import ExecutionError, FlowControlDeadlock
+from .machine import Machine
+from .network import SimulatedNetwork
+from .stats import RunStats
+
+#: Rounds between STATUS broadcasts (termination protocol heartbeat).
+STATUS_INTERVAL = 4
+#: Rounds of zero progress tolerated before diagnosing a stall.
+STALL_LIMIT = 400
+
+
+class QueryExecution:
+    """Executes one compiled plan over a distributed graph."""
+
+    def __init__(self, dgraph, plan, config, sink_factory, trace=None):
+        if dgraph.num_machines != config.num_machines:
+            raise ExecutionError(
+                f"graph partitioned for {dgraph.num_machines} machines but "
+                f"config requests {config.num_machines}"
+            )
+        self.plan = plan
+        self.config = config
+        self.trace = trace
+        if trace is not None:
+            trace.configure(config.num_machines, config.quantum)
+        self.network = SimulatedNetwork(
+            config.num_machines, config.net_delay_rounds, plan.num_slots
+        )
+        self.sinks = [sink_factory(m) for m in range(config.num_machines)]
+        self.machines = [
+            Machine(m, dgraph, plan, config, self.network, self.sinks[m])
+            for m in range(config.num_machines)
+        ]
+
+    def run(self):
+        """Run to termination; returns :class:`RunStats`."""
+        started = time.perf_counter()
+        round_no = 0
+        last_progress = 0
+        quiescent_round = None
+        concluded = [False] * len(self.machines)
+        while True:
+            round_no += 1
+            if round_no > self.config.max_rounds:
+                raise ExecutionError(
+                    f"exceeded max_rounds={self.config.max_rounds} "
+                    "(runaway query or configuration too tight)"
+                )
+            for machine in self.machines:
+                machine.deliver(self.network.drain(machine.id, round_no))
+            progress = 0.0
+            per_machine = []
+            for machine in self.machines:
+                consumed = machine.run_round(round_no)
+                per_machine.append(consumed)
+                progress += consumed
+            if self.trace is not None:
+                self.trace.record_round(round_no, per_machine)
+            if round_no % STATUS_INTERVAL == 0:
+                for machine in self.machines:
+                    machine.broadcast_status(round_no)
+                done = True
+                for machine in self.machines:
+                    if not concluded[machine.id]:
+                        concluded[machine.id] = machine.check_termination()
+                    done = done and concluded[machine.id]
+                if done:
+                    if self.trace is not None:
+                        self.trace.record_event(
+                            round_no, "termination protocol concluded"
+                        )
+                    break
+            if progress > 0.0:
+                last_progress = round_no
+                quiescent_round = None
+            else:
+                # Record when all query work (not protocol heartbeats) is
+                # done: this is the latency metric; the termination protocol
+                # still decides when machines actually stop.
+                if quiescent_round is None and self.ground_truth_quiescent():
+                    quiescent_round = round_no
+                if round_no - last_progress > STALL_LIMIT:
+                    self._diagnose_stall(round_no)
+
+        for machine in self.machines:
+            machine.finalize_stats()
+        wall = time.perf_counter() - started
+        return RunStats(
+            [m.stats for m in self.machines],
+            round_no,
+            wall,
+            self.config,
+            quiescent_round=quiescent_round,
+        )
+
+    # ------------------------------------------------------------------
+    def ground_truth_quiescent(self):
+        """True iff no work exists anywhere (ignoring STATUS heartbeats)."""
+        kinds = self.network.pending_kinds()
+        if kinds["batch"] or kinds["done"]:
+            return False
+        return all(m.is_quiescent() for m in self.machines)
+
+    def _diagnose_stall(self, round_no):
+        if self.ground_truth_quiescent():
+            raise ExecutionError(
+                f"termination protocol failed to conclude by round {round_no} "
+                "despite cluster quiescence (protocol bug)"
+            )
+        blocked = sum(m.stats.flow_control_blocks for m in self.machines)
+        in_flight = [m.flow.in_flight for m in self.machines]
+        raise FlowControlDeadlock(
+            f"no progress for {STALL_LIMIT} rounds at round {round_no}: "
+            f"{blocked} flow-control blocks, in-flight credits {in_flight}. "
+            "Increase buffers_per_machine / rpq_overflow_per_depth."
+        )

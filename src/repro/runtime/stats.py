@@ -1,0 +1,192 @@
+"""Runtime statistics.
+
+Every counter the paper reports lives here: per-depth RPQ control-stage
+matches (Tables 2/3), reachability-index eliminations/duplications
+(Table 3), flow-control block counts (Section 4.2), message/byte volumes,
+modelled memory, and busy/idle rounds for the virtual-time model.
+"""
+
+from collections import Counter
+
+
+class MachineStats:
+    """Counters for one simulated machine."""
+
+    def __init__(self):
+        # RPQ control stage (Tables 2 and 3): {rpq_id: Counter{depth: n}}.
+        self.control_matches = {}
+        self.eliminated = {}
+        self.duplicated = {}
+        # Successful matches per plan stage (EXPLAIN ANALYZE).
+        self.stage_matches = Counter()
+        # Reachability index.
+        self.index_inserts = 0
+        self.index_updates = 0
+        self.index_entries = 0
+        self.index_prealloc_bytes = 0
+        # Flow control (Section 4.2).
+        self.flow_control_blocks = 0
+        self.overflow_grants = 0
+        self.peak_inflight_buffers = 0
+        # Batches absorbed into worker context storage but not yet fully
+        # explored — the "dynamically allocated RPQ contexts" memory that
+        # flow control cannot bound (paper Section 3.3).
+        self.peak_absorbed_batches = 0
+        # Messaging.
+        self.batches_sent = 0
+        self.contexts_sent = 0
+        self.bytes_sent = 0
+        self.done_messages = 0
+        self.status_messages = 0
+        # Work.
+        self.bootstrapped = 0
+        self.edges_traversed = 0
+        self.filter_evals = 0
+        self.outputs = 0
+        self.dynamic_context_allocs = 0
+        # Virtual time.
+        self.busy_rounds = 0
+        self.idle_rounds = 0
+        self.blocked_rounds = 0
+        self.cost_units = 0.0
+
+    # -- helpers ---------------------------------------------------------
+    def record_control_match(self, rpq_id, depth):
+        self.control_matches.setdefault(rpq_id, Counter())[depth] += 1
+
+    def record_eliminated(self, rpq_id, depth):
+        self.eliminated.setdefault(rpq_id, Counter())[depth] += 1
+
+    def record_duplicated(self, rpq_id, depth):
+        self.duplicated.setdefault(rpq_id, Counter())[depth] += 1
+
+
+class RunStats:
+    """Aggregated statistics for one distributed query execution."""
+
+    def __init__(self, machine_stats, rounds, wall_seconds, config, quiescent_round=None):
+        self.per_machine = machine_stats
+        self.rounds = rounds
+        self.quiescent_round = quiescent_round
+        self.wall_seconds = wall_seconds
+        self.config = config
+        self.num_machines = len(machine_stats)
+
+    # -- aggregation helpers ----------------------------------------------
+    def _sum(self, attr):
+        return sum(getattr(m, attr) for m in self.per_machine)
+
+    def _merge_depth_counters(self, attr):
+        merged = {}
+        for m in self.per_machine:
+            for rpq_id, counter in getattr(m, attr).items():
+                merged.setdefault(rpq_id, Counter()).update(counter)
+        return merged
+
+    @property
+    def control_matches(self):
+        """Per-depth RPQ control-stage matches: {rpq_id: {depth: count}}."""
+        return self._merge_depth_counters("control_matches")
+
+    @property
+    def eliminated(self):
+        return self._merge_depth_counters("eliminated")
+
+    @property
+    def stage_matches(self):
+        """Successful matches per plan stage (for EXPLAIN ANALYZE)."""
+        merged = Counter()
+        for m in self.per_machine:
+            merged.update(m.stage_matches)
+        return merged
+
+    @property
+    def duplicated(self):
+        return self._merge_depth_counters("duplicated")
+
+    @property
+    def flow_control_blocks(self):
+        return self._sum("flow_control_blocks")
+
+    @property
+    def batches_sent(self):
+        return self._sum("batches_sent")
+
+    @property
+    def contexts_sent(self):
+        return self._sum("contexts_sent")
+
+    @property
+    def bytes_sent(self):
+        return self._sum("bytes_sent")
+
+    @property
+    def outputs(self):
+        return self._sum("outputs")
+
+    @property
+    def edges_traversed(self):
+        return self._sum("edges_traversed")
+
+    @property
+    def index_entries(self):
+        return self._sum("index_entries")
+
+    @property
+    def index_bytes(self):
+        """Modelled index size: 12 bytes/entry (paper Section 4.4) plus any
+        bulk-preallocated first-level pointer arrays."""
+        return 12 * self.index_entries + self._sum("index_prealloc_bytes")
+
+    @property
+    def messaging_bytes_peak(self):
+        """Modelled peak messaging memory: in-flight buffers x buffer size."""
+        peak = max((m.peak_inflight_buffers for m in self.per_machine), default=0)
+        return peak * self.config.buffer_bytes
+
+    @property
+    def virtual_time(self):
+        """Virtual makespan in scheduler rounds (the latency metric).
+
+        Measured up to cluster quiescence — the point where all query work
+        (bootstrap, traversal, messaging) has finished; the termination
+        protocol's detection tail is excluded from latency but included in
+        ``rounds``.
+        """
+        return self.quiescent_round if self.quiescent_round is not None else self.rounds
+
+    def cost_units_total(self):
+        """Total work (cost units) across machines — a finer-grained metric
+        than rounds for comparing configurations whose latency differences
+        are smaller than one quantum."""
+        return self._sum("cost_units")
+
+    def max_depth(self, rpq_id=0):
+        matches = self.control_matches.get(rpq_id)
+        return max(matches) if matches else -1
+
+    def depth_table(self, rpq_id=0):
+        """Rows of (depth, matches, eliminated, duplicated) — Table 2/3 shape."""
+        matches = self.control_matches.get(rpq_id, {})
+        eliminated = self.eliminated.get(rpq_id, {})
+        duplicated = self.duplicated.get(rpq_id, {})
+        depths = sorted(set(matches) | set(eliminated) | set(duplicated))
+        return [
+            (d, matches.get(d, 0), eliminated.get(d, 0), duplicated.get(d, 0))
+            for d in depths
+        ]
+
+    def summary(self):
+        return {
+            "rounds": self.rounds,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "machines": self.num_machines,
+            "outputs": self.outputs,
+            "edges_traversed": self.edges_traversed,
+            "batches_sent": self.batches_sent,
+            "contexts_sent": self.contexts_sent,
+            "bytes_sent": self.bytes_sent,
+            "flow_control_blocks": self.flow_control_blocks,
+            "index_entries": self.index_entries,
+            "index_bytes": self.index_bytes,
+        }

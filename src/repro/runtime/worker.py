@@ -1,0 +1,406 @@
+"""Depth-first traversal workers (paper Section 3.2).
+
+Each worker owns a stack of *jobs*; a job is either a bootstrap root (a
+machine-local vertex entering stage 0) or a received batch of contexts.
+Within a job the worker runs an explicit-stack DFT over the plan automaton:
+match the stage on the current vertex, then iterate its hop (edges,
+transitions, inspections); local hops recurse by pushing frames, remote hops
+serialize the context into an outgoing batch.  When a hop's send is blocked
+by flow control, the worker starts processing received batches instead
+(paper: messages are picked up "(iii) when flow control prevents message
+sending"), nesting a new job on top of the blocked one.
+"""
+
+from ..graph.types import NO_EDGE
+from ..plan.stages import HopKind, StageKind
+from ..rpq.control import ACTION_EXIT, ACTION_PATH
+from ..rpq.rpid import RpidAllocator
+
+#: Cost charged for bookkeeping steps (frame pops, action dispatch).
+STEP_COST = 0.1
+#: Maximum nesting of jobs while blocked on flow control.
+MAX_NESTED_JOBS = 12
+
+_MATCH = 0
+_ITER = 1
+
+
+class EvalState:
+    """Runtime state handed to compiled expressions."""
+
+    __slots__ = ("ctx", "edge", "partition")
+
+    def __init__(self, partition):
+        self.ctx = None
+        self.edge = -1
+        self.partition = partition
+
+
+class Frame:
+    """One DFT stack frame: a stage applied to a vertex."""
+
+    __slots__ = (
+        "stage_idx",
+        "vertex",
+        "phase",
+        "undo",
+        "actions",
+        "action_pos",
+        "runs",
+        "run_idx",
+        "pos",
+        "entry_mode",
+    )
+
+    def __init__(self, stage_idx, vertex, entry_mode=None):
+        self.stage_idx = stage_idx
+        self.vertex = vertex
+        self.phase = _MATCH
+        self.undo = []
+        self.actions = None
+        self.action_pos = 0
+        self.runs = None
+        self.run_idx = 0
+        self.pos = 0
+        self.entry_mode = entry_mode
+
+
+class Job:
+    """A unit of work: a bootstrap root or a received batch."""
+
+    __slots__ = ("kind", "batch", "next_context", "ctx", "stack")
+
+    def __init__(self, kind, batch=None, ctx=None):
+        self.kind = kind  # "root" | "batch"
+        self.batch = batch
+        self.next_context = 0
+        self.ctx = ctx
+        self.stack = []
+
+
+class Worker:
+    """One simulated worker thread."""
+
+    def __init__(self, machine, worker_id):
+        self.machine = machine
+        self.id = worker_id
+        self.plan = machine.plan
+        self.config = machine.config
+        self.cost = machine.config.cost
+        self.partition = machine.partition
+        self.state = EvalState(machine.partition)
+        self.jobs = []
+        self.rpid_alloc = RpidAllocator(machine.id, worker_id)
+        self.blocked = False
+
+    # ------------------------------------------------------------------
+    # Scheduling entry point
+    # ------------------------------------------------------------------
+    def run(self, budget):
+        """Execute up to ``budget`` cost units; returns units consumed."""
+        consumed = 0.0
+        while consumed < budget:
+            cost = self._step()
+            if cost <= 0.0:
+                break
+            consumed += cost
+        return consumed
+
+    @property
+    def idle(self):
+        return (
+            not self.jobs
+            and not self.machine.bootstrap_pending()
+            and not self.blocked
+        )
+
+    # ------------------------------------------------------------------
+    # One scheduling step
+    # ------------------------------------------------------------------
+    def _step(self):
+        self.blocked = False
+        if self.jobs:
+            job = self.jobs[-1]
+            if job.stack:
+                cost = self._advance(job)
+                if self.blocked:
+                    # Flow control stopped a send: pick up received work
+                    # instead of spinning (paper Section 3.2, case iii).
+                    if len(self.jobs) < MAX_NESTED_JOBS and self.machine.has_inbox():
+                        self._start_batch_job()
+                        return cost + self.cost.receive_context
+                    self.machine.stats.blocked_rounds += 1
+                    return 0.0
+                return cost
+            return self._continue_job(job)
+        # No active job: received messages first, then bootstrap new work.
+        if self.machine.has_inbox():
+            self._start_batch_job()
+            return self.cost.receive_context
+        return self._bootstrap_step()
+
+    def _continue_job(self, job):
+        if job.kind == "batch":
+            batch = job.batch
+            if job.next_context < len(batch.contexts):
+                vertex, ctx = batch.contexts[job.next_context]
+                job.next_context += 1
+                job.ctx = ctx
+                job.stack.append(Frame(batch.target_stage, vertex))
+                return self.cost.receive_context
+            self.machine.complete_batch(batch)
+            self.jobs.pop()
+            return STEP_COST
+        # Root job finished its subtree.
+        self.machine.tracker.record_processed(0, 0)
+        self.jobs.pop()
+        return STEP_COST
+
+    def _start_batch_job(self):
+        batch = self.machine.pop_batch()
+        self.jobs.append(Job("batch", batch=batch))
+
+    def _bootstrap_step(self):
+        stats = self.machine.stats
+        stage0 = self.plan.stages[0]
+        vertex = self.machine.pop_bootstrap_root()
+        if vertex is None:
+            return 0.0
+        stats.bootstrapped += 1
+        if stage0.label_ids and not self._labels_ok(stage0, vertex):
+            # Fast label pre-check: no frame needed for non-matching
+            # vertices, but the unit must still be accounted.
+            self.machine.tracker.record_processed(0, 0)
+            return self.cost.bootstrap
+        job = Job("root", ctx=[None] * self.plan.num_slots)
+        job.stack.append(Frame(0, vertex))
+        self.jobs.append(job)
+        return self.cost.bootstrap
+
+    # ------------------------------------------------------------------
+    # Frame execution
+    # ------------------------------------------------------------------
+    def _advance(self, job):
+        frame = job.stack[-1]
+        stage = self.plan.stages[frame.stage_idx]
+        if frame.phase == _MATCH:
+            ok, cost = self._match(job, stage, frame)
+            if not ok:
+                self._pop(job)
+                return cost + STEP_COST
+            self.machine.stats.stage_matches[stage.index] += 1
+            self._init_iter(stage, frame)
+            frame.phase = _ITER
+            return cost
+        if stage.hop is not None and stage.hop.kind is HopKind.NEIGHBOR:
+            return self._advance_neighbor(job, frame, stage.hop)
+        return self._advance_actions(job, frame, stage)
+
+    def _labels_ok(self, stage, vertex):
+        partition = self.partition
+        for group in stage.label_ids:
+            if not any(partition.vertex_has_label(vertex, lid) for lid in group if lid >= 0):
+                return False
+        return True
+
+    def _match(self, job, stage, frame):
+        if stage.kind is StageKind.NOOP:
+            return True, STEP_COST
+        if stage.kind is StageKind.RPQ_CONTROL:
+            controller = self.machine.controllers[stage.index]
+            frame.actions, cost = controller.on_entry(
+                frame, job.ctx, frame.entry_mode, self.rpid_alloc
+            )
+            return True, cost
+        # VERTEX / PATH
+        cost = STEP_COST
+        if stage.label_ids and not self._labels_ok(stage, frame.vertex):
+            return False, cost
+        ctx = job.ctx
+        partition = self.partition
+        vertex = frame.vertex
+        for cap in stage.captures:
+            if cap.kind == "vid":
+                ctx[cap.slot] = vertex
+            elif cap.kind == "prop":
+                ctx[cap.slot] = partition.vertex_property(vertex, cap.prop)
+            else:  # label
+                ctx[cap.slot] = partition.vertex_label_name(vertex)
+        if stage.filter is not None:
+            cost += self.cost.filter_eval
+            self.machine.stats.filter_evals += 1
+            state = self.state
+            state.ctx = ctx
+            state.edge = -1
+            if not stage.filter(state):
+                return False, cost
+        for slot, kind, value_fn in stage.acc_updates:
+            state = self.state
+            state.ctx = ctx
+            state.edge = -1
+            value = value_fn(state)
+            if value is None:
+                return False, cost
+            old = ctx[slot]
+            frame.undo.append((slot, old))
+            if old is None:
+                ctx[slot] = value
+            elif kind == "max":
+                ctx[slot] = old if old >= value else value
+            else:
+                ctx[slot] = old if old <= value else value
+        return True, cost
+
+    def _init_iter(self, stage, frame):
+        hop = stage.hop
+        if stage.kind is StageKind.RPQ_CONTROL:
+            return  # actions set by the controller during match
+        kind = hop.kind
+        if kind is HopKind.NEIGHBOR:
+            runs = []
+            labels = hop.edge_label_ids or (None,)
+            for label_id in labels:
+                if label_id is not None and label_id < 0:
+                    continue  # label absent from the graph: matches nothing
+                for csr, lo, hi in self.partition.neighbor_runs(
+                    frame.vertex, hop.direction, label_id
+                ):
+                    runs.append((csr, lo, hi))
+            frame.runs = runs
+            frame.run_idx = 0
+            frame.pos = runs[0][1] if runs else 0
+        elif kind is HopKind.EDGE:
+            frame.actions = ("edge",)
+        elif kind is HopKind.TRANSITION:
+            frame.actions = ("transition",)
+        elif kind is HopKind.INSPECT:
+            frame.actions = ("inspect",)
+        elif kind is HopKind.OUTPUT:
+            frame.actions = ("output",)
+        else:
+            raise AssertionError(f"unknown hop kind {kind}")
+
+    def _depth_tag(self, target_stage, ctx):
+        slot = target_stage.depth_slot
+        return ctx[slot] if slot >= 0 and ctx[slot] is not None else 0
+
+    def _advance_neighbor(self, job, frame, hop):
+        runs = frame.runs
+        while frame.run_idx < len(runs):
+            csr, _lo, hi = runs[frame.run_idx]
+            if frame.pos >= hi:
+                frame.run_idx += 1
+                if frame.run_idx < len(runs):
+                    frame.pos = runs[frame.run_idx][1]
+                continue
+            i = frame.pos
+            nbr = csr.nbr[i]
+            eid = csr.eid[i]
+            cost = self.cost.edge_traverse
+            self.machine.stats.edges_traversed += 1
+            ctx = job.ctx
+            if hop.edge_filter is not None:
+                cost += self.cost.filter_eval
+                state = self.state
+                state.ctx = ctx
+                state.edge = eid
+                if not hop.edge_filter(state):
+                    frame.pos = i + 1
+                    return cost
+            for ec in hop.edge_captures:
+                ctx[ec.slot] = self.partition.edge_property(eid, ec.prop)
+            target = self.plan.stages[hop.target]
+            owner = self.partition.owner(nbr)
+            if owner == self.machine.id:
+                frame.pos = i + 1
+                job.stack.append(Frame(hop.target, nbr))
+                return cost
+            depth = self._depth_tag(target, ctx)
+            if self.machine.try_emit(owner, hop.target, depth, nbr, ctx):
+                frame.pos = i + 1
+                return cost + self.cost.context_serialize
+            self.blocked = True
+            return cost
+        self._pop(job)
+        return STEP_COST
+
+    def _advance_actions(self, job, frame, stage):
+        actions = frame.actions
+        if actions is None or frame.action_pos >= len(actions):
+            self._pop(job)
+            return STEP_COST
+        action = actions[frame.action_pos]
+        frame.action_pos += 1
+        hop = stage.hop
+        ctx = job.ctx
+
+        if action == "edge":
+            anchor = ctx[hop.anchor_slot]
+            cost = self.cost.edge_traverse
+            if anchor is None:
+                return cost
+            eid = NO_EDGE
+            for label_id in hop.edge_label_ids or (None,):
+                if label_id is not None and label_id < 0:
+                    continue
+                eid = self.partition.find_edge(
+                    frame.vertex, anchor, hop.direction, label_id
+                )
+                if eid != NO_EDGE:
+                    break
+            if eid == NO_EDGE:
+                return cost
+            if hop.edge_filter is not None:
+                cost += self.cost.filter_eval
+                state = self.state
+                state.ctx = ctx
+                state.edge = eid
+                if not hop.edge_filter(state):
+                    return cost
+            for ec in hop.edge_captures:
+                ctx[ec.slot] = self.partition.edge_property(eid, ec.prop)
+            job.stack.append(Frame(hop.target, frame.vertex))
+            return cost
+
+        if action == "transition":
+            job.stack.append(Frame(hop.target, frame.vertex, entry_mode=hop.control_entry))
+            return STEP_COST
+
+        if action == "inspect":
+            anchor = ctx[hop.anchor_slot]
+            if anchor is None:
+                return STEP_COST
+            owner = self.partition.owner(anchor)
+            if owner == self.machine.id:
+                job.stack.append(Frame(hop.target, anchor))
+                return STEP_COST
+            target = self.plan.stages[hop.target]
+            depth = self._depth_tag(target, ctx)
+            if self.machine.try_emit(owner, hop.target, depth, anchor, ctx):
+                return STEP_COST + self.cost.context_serialize
+            frame.action_pos -= 1  # retry the same action when unblocked
+            self.blocked = True
+            return STEP_COST
+
+        if action == "output":
+            self.machine.emit_output(ctx)
+            return self.cost.output
+
+        if action == ACTION_EXIT:
+            spec = stage.rpq
+            job.stack.append(Frame(spec.exit_stage, frame.vertex))
+            return STEP_COST
+
+        if action == ACTION_PATH:
+            spec = stage.rpq
+            job.stack.append(Frame(spec.path_entry, frame.vertex))
+            return STEP_COST
+
+        raise AssertionError(f"unknown action {action!r}")
+
+    def _pop(self, job):
+        frame = job.stack.pop()
+        if frame.undo:
+            ctx = job.ctx
+            for slot, old in reversed(frame.undo):
+                ctx[slot] = old

@@ -1,0 +1,151 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def graph_file(tmp_path, capsys):
+    path = tmp_path / "g.jsonl"
+    rc = main(["generate", str(path), "--scale", "xs", "--seed", "3"])
+    assert rc == 0
+    capsys.readouterr()
+    return path
+
+
+class TestGenerate:
+    def test_generate_writes_graph_and_meta(self, tmp_path, capsys):
+        path = tmp_path / "g.jsonl"
+        assert main(["generate", str(path), "--scale", "xs"]) == 0
+        meta = json.loads(capsys.readouterr().out)
+        assert meta["persons"] == 120
+        assert path.exists()
+
+    def test_generate_is_deterministic(self, tmp_path, capsys):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        main(["generate", str(a), "--scale", "xs", "--seed", "5"])
+        main(["generate", str(b), "--scale", "xs", "--seed", "5"])
+        assert a.read_text() == b.read_text()
+
+
+class TestQuery:
+    def test_query_rpqd(self, graph_file, capsys):
+        rc = main(
+            [
+                "query",
+                str(graph_file),
+                "SELECT COUNT(*) FROM MATCH (p:Person)",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out[-1] == "120"
+
+    @pytest.mark.parametrize("engine", ["rpqd", "bft", "recursive"])
+    def test_all_engines_available(self, graph_file, capsys, engine):
+        rc = main(
+            [
+                "query",
+                str(graph_file),
+                "SELECT COUNT(*) FROM MATCH (a:Person)-[:KNOWS]->(b:Person)",
+                "--engine",
+                engine,
+            ]
+        )
+        assert rc == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert int(lines[-1]) > 0
+
+    def test_stats_flag(self, graph_file, capsys):
+        rc = main(
+            [
+                "query",
+                str(graph_file),
+                "SELECT COUNT(*) FROM MATCH (p:Person)",
+                "--stats",
+            ]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "virtual latency" in err
+
+    def test_null_rendering(self, graph_file, capsys):
+        rc = main(
+            [
+                "query",
+                str(graph_file),
+                "SELECT SUM(p.age) FROM MATCH (p:Robot)",
+            ]
+        )
+        assert rc == 0
+        assert "NULL" in capsys.readouterr().out
+
+    def test_csv_format(self, graph_file, capsys):
+        rc = main(
+            [
+                "query",
+                str(graph_file),
+                "SELECT COUNT(*) FROM MATCH (p:Person)",
+                "--format",
+                "csv",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out[0] == "COUNT(*)"
+        assert out[1] == "120"
+
+    def test_json_format(self, graph_file, capsys):
+        import json
+
+        rc = main(
+            [
+                "query",
+                str(graph_file),
+                "SELECT COUNT(*) FROM MATCH (p:Person)",
+                "--format",
+                "json",
+            ]
+        )
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data == [{"COUNT(*)": 120}]
+
+    def test_no_index_flag(self, graph_file, capsys):
+        rc = main(
+            [
+                "query",
+                str(graph_file),
+                "SELECT COUNT(*) FROM MATCH (p:Post)<-/:REPLY_OF+/-(c:Comment)",
+                "--no-index",
+            ]
+        )
+        assert rc == 0
+
+
+class TestExplain:
+    def test_explain_prints_plan(self, graph_file, capsys):
+        rc = main(
+            [
+                "explain",
+                str(graph_file),
+                "SELECT COUNT(*) FROM MATCH (a:Person)-/:KNOWS{1,2}/-(b:Person)",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rpq_control" in out
+        assert "slots:" in out
+
+
+class TestWorkload:
+    def test_workload_table(self, capsys):
+        rc = main(["workload", "--scale", "xs", "--machines", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Q03*" in out and "Q10R" in out
+        assert "rpqd" in out and "recursive" in out

@@ -1,0 +1,54 @@
+"""Tests for engine configuration validation."""
+
+import pytest
+
+from repro import ConfigError, EngineConfig
+from repro.config import CostModel
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = EngineConfig()
+        assert config.num_machines == 4
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_machines", 0),
+            ("workers_per_machine", 0),
+            ("batch_size", 0),
+            ("rpq_flow_depth", -1),
+            ("rpq_shared_credits", 0),
+            ("rpq_overflow_per_depth", -1),
+            ("quantum", 0.0),
+            ("net_delay_rounds", -1),
+            ("max_rounds", 0),
+            ("receive_priority", "random"),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ConfigError):
+            EngineConfig(**{field: value})
+
+    def test_buffer_minimum_scales_with_machines(self):
+        # The paper: each machine needs at least two buffers per peer.
+        with pytest.raises(ConfigError):
+            EngineConfig(num_machines=16, buffers_per_machine=8)
+        EngineConfig(num_machines=16, buffers_per_machine=32)
+
+    def test_with_override(self):
+        base = EngineConfig()
+        tuned = base.with_(num_machines=8, batch_size=64)
+        assert tuned.num_machines == 8
+        assert tuned.batch_size == 64
+        assert base.num_machines == 4  # original unchanged (frozen)
+
+    def test_config_is_frozen(self):
+        config = EngineConfig()
+        with pytest.raises(Exception):
+            config.num_machines = 2
+
+    def test_cost_model_defaults(self):
+        cost = CostModel()
+        assert cost.edge_traverse == 1.0
+        assert cost.index_insert > cost.index_hit > 0

@@ -1,0 +1,96 @@
+"""Tests for the simple topology generators used by tests and benches."""
+
+import pytest
+
+from repro.graph import Direction
+from repro.graph.generators import (
+    chain_graph,
+    complete_graph,
+    cycle_graph,
+    random_graph,
+    reply_forest,
+    star_graph,
+    two_label_graph,
+)
+
+
+class TestReplyForest:
+    def test_forest_structure(self):
+        g = reply_forest(12, 3, 5, seed=4)
+        post = g.vertex_labels.id_of("Post")
+        comment = g.vertex_labels.id_of("Comment")
+        reply = g.edge_labels.id_of("REPLY_OF")
+        posts = list(g.vertices_with_label(post))
+        assert len(posts) == 12
+        # Posts have no outgoing REPLY_OF; every comment exactly one.
+        for v in posts:
+            assert not list(g.neighbors(v, Direction.OUT, reply))
+        for v in g.vertices_with_label(comment):
+            assert len(list(g.neighbors(v, Direction.OUT, reply))) == 1
+
+    def test_edges_equal_comments(self):
+        g = reply_forest(10, 2, 4, seed=9)
+        comment = g.vertex_labels.id_of("Comment")
+        n_comments = sum(1 for _ in g.vertices_with_label(comment))
+        assert g.num_edges == n_comments
+
+    def test_depth_bounded(self):
+        g = reply_forest(5, 4, 3, seed=1)
+        reply = g.edge_labels.id_of("REPLY_OF")
+        # Walk up from every comment: at most `depth` hops to a post.
+        post = g.vertex_labels.id_of("Post")
+        for v in g.vertices():
+            hops = 0
+            current = v
+            while not g.vertex_has_label(current, post):
+                current = next(n for n, _ in g.neighbors(current, Direction.OUT, reply))
+                hops += 1
+                assert hops <= 3
+
+    def test_deterministic(self):
+        a = reply_forest(8, 3, 4, seed=7)
+        b = reply_forest(8, 3, 4, seed=7)
+        assert a.edge_src == b.edge_src
+        assert a.edge_dst == b.edge_dst
+
+    def test_message_supertype_on_all(self):
+        g = reply_forest(5, 2, 3, seed=2)
+        message = g.vertex_labels.id_of("Message")
+        assert all(g.vertex_has_label(v, message) for v in g.vertices())
+
+
+class TestSimpleShapes:
+    def test_star(self):
+        g = star_graph(7)
+        assert g.num_vertices == 8
+        assert g.degree(0, Direction.OUT) == 7
+        assert all(g.degree(v, Direction.OUT) == 0 for v in range(1, 8))
+
+    def test_complete_has_no_self_loops(self):
+        g = complete_graph(6)
+        for e in range(g.num_edges):
+            assert g.edge_src[e] != g.edge_dst[e]
+
+    def test_cycle_strongly_connected(self):
+        g = cycle_graph(5)
+        # following NEXT 5 times returns to start
+        v = 0
+        for _ in range(5):
+            v = next(n for n, _ in g.neighbors(v, Direction.OUT))
+        assert v == 0
+
+    def test_random_graph_counts(self):
+        g = random_graph(15, 44, seed=3)
+        assert g.num_vertices == 15
+        assert g.num_edges == 44
+
+    def test_two_label_graph_has_both_label_sets(self):
+        g = two_label_graph(40, seed=8)
+        assert g.vertex_labels.id_of("A") is not None
+        assert g.vertex_labels.id_of("B") is not None
+        assert g.edge_labels.id_of("X") is not None
+        assert g.edge_labels.id_of("Y") is not None
+
+    def test_chain_idx_property(self):
+        g = chain_graph(4)
+        assert [g.vprops.get("idx", v) for v in range(4)] == [0, 1, 2, 3]

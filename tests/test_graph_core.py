@@ -1,0 +1,167 @@
+"""Unit tests for the graph substrate: builder, CSR, labels, properties."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import Direction, GraphBuilder, NO_EDGE
+from repro.graph.generators import chain_graph, complete_graph, cycle_graph
+
+
+@pytest.fixture
+def small_graph():
+    b = GraphBuilder()
+    a = b.add_vertex("Person", name="Alice", age=30)
+    c = b.add_vertex("Person", name="Bob", age=25)
+    d = b.add_vertex("Post", extra_labels=("Message",), content="hi")
+    b.add_edge(a, c, "KNOWS", since=2015)
+    b.add_edge(c, a, "KNOWS")
+    b.add_edge(a, d, "LIKES")
+    return b.build()
+
+
+class TestBuilder:
+    def test_counts(self, small_graph):
+        assert small_graph.num_vertices == 3
+        assert small_graph.num_edges == 3
+
+    def test_vertex_ids_are_dense(self):
+        b = GraphBuilder()
+        ids = [b.add_vertex("N") for _ in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+
+    def test_edge_endpoint_validation(self):
+        b = GraphBuilder()
+        b.add_vertex("N")
+        with pytest.raises(GraphError):
+            b.add_edge(0, 99, "E")
+        with pytest.raises(GraphError):
+            b.add_edge(-1, 0, "E")
+
+    def test_build_consumes_builder(self):
+        b = GraphBuilder()
+        b.add_vertex("N")
+        b.build()
+        with pytest.raises(GraphError):
+            b.add_vertex("N")
+        with pytest.raises(GraphError):
+            b.build()
+
+    def test_set_vertex_property_after_add(self):
+        b = GraphBuilder()
+        v = b.add_vertex("N")
+        b.set_vertex_property(v, "color", "red")
+        g = b.build()
+        assert g.vprops.get("color", v) == "red"
+
+
+class TestLabels:
+    def test_primary_label(self, small_graph):
+        assert small_graph.vertex_label_name(0) == "Person"
+        assert small_graph.vertex_label_name(2) == "Post"
+
+    def test_extra_labels(self, small_graph):
+        message = small_graph.vertex_labels.id_of("Message")
+        post = small_graph.vertex_labels.id_of("Post")
+        assert small_graph.vertex_has_label(2, message)
+        assert small_graph.vertex_has_label(2, post)
+        assert not small_graph.vertex_has_label(0, message)
+
+    def test_label_lookup_is_case_insensitive(self, small_graph):
+        assert small_graph.vertex_labels.id_of("person") == small_graph.vertex_labels.id_of(
+            "PERSON"
+        )
+
+    def test_unknown_label_is_none(self, small_graph):
+        assert small_graph.vertex_labels.id_of("Alien") is None
+
+    def test_vertices_with_label(self, small_graph):
+        person = small_graph.vertex_labels.id_of("Person")
+        assert list(small_graph.vertices_with_label(person)) == [0, 1]
+
+    def test_label_histogram(self, small_graph):
+        assert small_graph.label_histogram() == {"Person": 2, "Post": 1}
+
+
+class TestProperties:
+    def test_vertex_property_read(self, small_graph):
+        assert small_graph.vprops.get("name", 0) == "Alice"
+        assert small_graph.vprops.get("age", 1) == 25
+
+    def test_missing_property_is_none(self, small_graph):
+        assert small_graph.vprops.get("age", 2) is None
+        assert small_graph.vprops.get("nonexistent", 0) is None
+
+    def test_edge_property(self, small_graph):
+        assert small_graph.eprops.get("since", 0) == 2015
+        assert small_graph.eprops.get("since", 1) is None
+
+
+class TestTopology:
+    def test_out_neighbors(self, small_graph):
+        nbrs = sorted(n for n, _ in small_graph.neighbors(0, Direction.OUT))
+        assert nbrs == [1, 2]
+
+    def test_in_neighbors(self, small_graph):
+        nbrs = [n for n, _ in small_graph.neighbors(0, Direction.IN)]
+        assert nbrs == [1]
+
+    def test_both_neighbors(self, small_graph):
+        nbrs = sorted(n for n, _ in small_graph.neighbors(0, Direction.BOTH))
+        assert nbrs == [1, 1, 2]
+
+    def test_label_constrained_neighbors(self, small_graph):
+        knows = small_graph.edge_labels.id_of("KNOWS")
+        nbrs = [n for n, _ in small_graph.neighbors(0, Direction.OUT, knows)]
+        assert nbrs == [1]
+
+    def test_degree(self, small_graph):
+        assert small_graph.degree(0, Direction.OUT) == 2
+        assert small_graph.degree(0, Direction.IN) == 1
+        assert small_graph.degree(0, Direction.BOTH) == 3
+
+    def test_find_edge_directed(self, small_graph):
+        knows = small_graph.edge_labels.id_of("KNOWS")
+        assert small_graph.find_edge(0, 1, Direction.OUT, knows) == 0
+        assert small_graph.find_edge(1, 0, Direction.OUT, knows) == 1
+        assert small_graph.find_edge(0, 2, Direction.OUT) == 2
+
+    def test_find_edge_missing(self, small_graph):
+        assert small_graph.find_edge(1, 2, Direction.OUT) == NO_EDGE
+        likes = small_graph.edge_labels.id_of("LIKES")
+        assert small_graph.find_edge(0, 1, Direction.OUT, likes) == NO_EDGE
+
+    def test_find_edge_any_label_multiple_runs(self):
+        b = GraphBuilder()
+        for _ in range(4):
+            b.add_vertex("N")
+        b.add_edge(0, 1, "X")
+        b.add_edge(0, 2, "Y")
+        b.add_edge(0, 3, "X")
+        g = b.build()
+        assert g.find_edge(0, 2, Direction.OUT) != NO_EDGE
+        assert g.find_edge(0, 3, Direction.OUT) != NO_EDGE
+        assert g.find_edge(0, 0, Direction.OUT) == NO_EDGE
+
+    def test_find_edge_both_direction(self, small_graph):
+        likes = small_graph.edge_labels.id_of("LIKES")
+        assert small_graph.find_edge(2, 0, Direction.BOTH, likes) == 2
+        assert small_graph.find_edge(2, 0, Direction.OUT, likes) == NO_EDGE
+
+
+class TestGenerators:
+    def test_chain(self):
+        g = chain_graph(5)
+        assert g.num_edges == 4
+        assert [n for n, _ in g.neighbors(0)] == [1]
+        assert g.degree(4, Direction.OUT) == 0
+
+    def test_cycle(self):
+        g = cycle_graph(4)
+        assert g.num_edges == 4
+        assert [n for n, _ in g.neighbors(3)] == [0]
+
+    def test_complete(self):
+        g = complete_graph(4)
+        assert g.num_edges == 12
+        for v in range(4):
+            assert g.degree(v, Direction.OUT) == 3

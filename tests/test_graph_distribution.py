@@ -1,0 +1,165 @@
+"""Tests for partitioners, the distributed graph view, and the loader."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    BlockPartitioner,
+    Direction,
+    DistributedGraph,
+    GraphBuilder,
+    HashPartitioner,
+    load_graph,
+    make_partitioner,
+    save_graph,
+)
+from repro.graph.generators import random_graph
+
+
+class TestPartitioners:
+    def test_hash_owner_round_robin(self):
+        p = HashPartitioner(10, 3)
+        assert [p.owner(v) for v in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_hash_local_vertices_cover_all(self):
+        p = HashPartitioner(11, 4)
+        seen = sorted(v for m in range(4) for v in p.local_vertices(m))
+        assert seen == list(range(11))
+
+    def test_block_ranges_are_contiguous(self):
+        p = BlockPartitioner(10, 3)
+        assert list(p.local_vertices(0)) == [0, 1, 2, 3]
+        assert list(p.local_vertices(1)) == [4, 5, 6, 7]
+        assert list(p.local_vertices(2)) == [8, 9]
+
+    def test_block_owner_matches_local_vertices(self):
+        p = BlockPartitioner(17, 5)
+        for m in range(5):
+            for v in p.local_vertices(m):
+                assert p.owner(v) == m
+
+    def test_block_single_machine(self):
+        p = BlockPartitioner(5, 1)
+        assert list(p.local_vertices(0)) == [0, 1, 2, 3, 4]
+
+    def test_factory(self):
+        assert isinstance(make_partitioner("hash", 4, 2), HashPartitioner)
+        assert isinstance(make_partitioner("block", 4, 2), BlockPartitioner)
+        with pytest.raises(GraphError):
+            make_partitioner("magic", 4, 2)
+
+    def test_factory_cluster_needs_graph(self):
+        with pytest.raises(GraphError):
+            make_partitioner("cluster", 4, 2)
+
+
+class TestClusterPartitioner:
+    def test_covers_all_vertices(self):
+        from repro.graph import ClusterPartitioner
+        from repro.graph.generators import reply_forest
+
+        g = reply_forest(10, 3, 4, seed=1)
+        p = ClusterPartitioner(g, 3)
+        seen = sorted(v for m in range(3) for v in p.local_vertices(m))
+        assert seen == list(range(g.num_vertices))
+        for m in range(3):
+            for v in p.local_vertices(m):
+                assert p.owner(v) == m
+
+    def test_reduces_cut_edges_on_forests(self):
+        from repro.graph import ClusterPartitioner
+        from repro.graph.generators import reply_forest
+
+        g = reply_forest(20, 3, 5, seed=2)
+
+        def cut(p):
+            return sum(
+                1
+                for e in range(g.num_edges)
+                if p.owner(g.edge_src[e]) != p.owner(g.edge_dst[e])
+            )
+
+        cluster = ClusterPartitioner(g, 4)
+        hashed = HashPartitioner(g.num_vertices, 4)
+        assert cut(cluster) < cut(hashed) / 3
+
+    def test_roughly_balanced(self):
+        from repro.graph import ClusterPartitioner
+        from repro.graph.generators import random_graph
+
+        g = random_graph(100, 300, seed=5)
+        p = ClusterPartitioner(g, 4)
+        sizes = [len(p.local_vertices(m)) for m in range(4)]
+        assert sum(sizes) == 100
+        assert max(sizes) <= 2 * (100 // 4 + 1)
+
+    def test_empty_graph(self):
+        from repro.graph import ClusterPartitioner, GraphBuilder
+
+        g = GraphBuilder().build()
+        p = ClusterPartitioner(g, 2)
+        assert list(p.local_vertices(0)) == []
+
+
+class TestDistributedGraph:
+    @pytest.fixture
+    def dgraph(self):
+        return DistributedGraph(random_graph(20, 60, seed=3), num_machines=4)
+
+    def test_partitions_created(self, dgraph):
+        assert len(dgraph.partitions) == 4
+
+    def test_balance_sums_to_n(self, dgraph):
+        assert sum(dgraph.balance()) == 20
+
+    def test_local_read_allowed(self, dgraph):
+        part = dgraph.partition(1)
+        v = next(iter(part.local_vertices()))
+        assert part.vertex_property(v, "idx") == v
+
+    def test_remote_read_rejected(self, dgraph):
+        part = dgraph.partition(0)
+        remote = next(v for v in range(20) if dgraph.owner(v) != 0)
+        with pytest.raises(GraphError):
+            part.vertex_property(remote, "idx")
+        with pytest.raises(GraphError):
+            list(part.neighbor_runs(remote, Direction.OUT))
+
+    def test_find_edge_anchored_locally(self, dgraph):
+        g = dgraph.graph
+        src = g.edge_src[0]
+        dst = g.edge_dst[0]
+        part = dgraph.partition(dgraph.owner(src))
+        assert part.find_edge(src, dst, Direction.OUT) >= 0
+
+
+class TestLoader:
+    def test_round_trip(self, tmp_path):
+        b = GraphBuilder()
+        a = b.add_vertex("Person", name="Ana", age=33)
+        p = b.add_vertex("Post", extra_labels=("Message",), content="x")
+        b.add_edge(a, p, "LIKES", weight=2)
+        g1 = b.build()
+
+        path = tmp_path / "g.jsonl"
+        save_graph(g1, path)
+        g2 = load_graph(path)
+
+        assert g2.num_vertices == g1.num_vertices
+        assert g2.num_edges == g1.num_edges
+        assert g2.vprops.get("name", 0) == "Ana"
+        assert g2.eprops.get("weight", 0) == 2
+        message = g2.vertex_labels.id_of("Message")
+        assert g2.vertex_has_label(1, message)
+
+    def test_bad_kind_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "hyperedge"}\n')
+        with pytest.raises(GraphError):
+            load_graph(path)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "g.jsonl"
+        path.write_text('{"kind": "vertex", "label": "N"}\n\n')
+        g = load_graph(path)
+        assert g.num_vertices == 1

@@ -1,0 +1,148 @@
+"""Tests for the extended SQL surface: IN, BETWEEN, IS NULL, HAVING."""
+
+import pytest
+
+from repro import EngineConfig, GraphBuilder, PlanningError, RPQdEngine
+from repro.baselines import BftEngine, RecursiveEngine
+from repro.pgql import parse, parse_expression
+from repro.pgql.ast import Binary, InList, IsNull, Unary
+from repro.pgql.expressions import compile_expr, DictBinder
+
+
+@pytest.fixture(scope="module")
+def graph():
+    b = GraphBuilder()
+    cities = ["Oslo", "Rome", "Oslo", None, "Pisa", "Rome", "Oslo"]
+    people = []
+    for i, city in enumerate(cities):
+        props = {"idx": i}
+        if city is not None:
+            props["city"] = city
+        people.append(b.add_vertex("Person", **props))
+    for i in range(len(people) - 1):
+        b.add_edge(people[i], people[i + 1], "KNOWS")
+    return b.build()
+
+
+@pytest.fixture(scope="module")
+def engine(graph):
+    return RPQdEngine(graph, EngineConfig(num_machines=2))
+
+
+class TestInList:
+    def test_parse(self):
+        e = parse_expression("a.city IN ('Oslo', 'Rome')")
+        assert isinstance(e, InList)
+        assert e.values == ("Oslo", "Rome")
+        assert not e.negated
+
+    def test_parse_not_in(self):
+        e = parse_expression("a.x NOT IN (1, 2, -3)")
+        assert e.negated
+        assert e.values == (1, 2, -3)
+
+    def test_non_literal_rejected(self):
+        with pytest.raises(Exception):
+            parse_expression("a.x IN (b.y)")
+
+    def test_execute(self, engine):
+        r = engine.execute(
+            "SELECT COUNT(*) FROM MATCH (a:Person) WHERE a.city IN ('Oslo', 'Pisa')"
+        )
+        assert r.scalar() == 4
+
+    def test_not_in_excludes_null(self, engine):
+        # SQL semantics: NULL NOT IN (...) is unknown, i.e. filtered out.
+        r = engine.execute(
+            "SELECT COUNT(*) FROM MATCH (a:Person) WHERE a.city NOT IN ('Oslo')"
+        )
+        assert r.scalar() == 3  # Rome, Pisa, Rome — not the NULL city
+
+    def test_round_trip(self):
+        e = parse_expression("a.city IN ('x')")
+        assert parse_expression(str(e)) == e
+
+
+class TestBetween:
+    def test_parse_desugars(self):
+        e = parse_expression("a.x BETWEEN 1 AND 5")
+        assert isinstance(e, Binary) and e.op == "and"
+        assert e.left.op == ">=" and e.right.op == "<="
+
+    def test_not_between(self):
+        e = parse_expression("a.x NOT BETWEEN 1 AND 5")
+        assert isinstance(e, Unary) and e.op == "not"
+
+    def test_binds_tighter_than_boolean_and(self):
+        e = parse_expression("a.x BETWEEN 1 AND 5 AND a.y = 2")
+        assert e.op == "and"
+        assert e.right.op == "="
+
+    def test_execute(self, engine):
+        r = engine.execute(
+            "SELECT COUNT(*) FROM MATCH (a:Person) WHERE a.idx BETWEEN 2 AND 4"
+        )
+        assert r.scalar() == 3
+
+
+class TestIsNull:
+    def test_parse(self):
+        e = parse_expression("a.city IS NULL")
+        assert isinstance(e, IsNull) and not e.negated
+        e2 = parse_expression("a.city IS NOT NULL")
+        assert e2.negated
+
+    def test_evaluate(self, graph):
+        fn = compile_expr(parse_expression("a.city IS NULL"), DictBinder(graph))
+        assert fn({"a": 3}) is True
+        assert fn({"a": 0}) is False
+
+    def test_execute(self, engine):
+        r = engine.execute("SELECT COUNT(*) FROM MATCH (a:Person) WHERE a.city IS NULL")
+        assert r.scalar() == 1
+        r = engine.execute(
+            "SELECT COUNT(*) FROM MATCH (a:Person) WHERE a.city IS NOT NULL"
+        )
+        assert r.scalar() == 6
+
+
+class TestHaving:
+    QUERY = (
+        "SELECT a.city, COUNT(*) FROM MATCH (a:Person) "
+        "WHERE a.city IS NOT NULL GROUP BY a.city HAVING COUNT(*) >= 2"
+    )
+
+    def test_execute(self, engine):
+        r = engine.execute(self.QUERY)
+        assert dict(r.rows) == {"Oslo": 3, "Rome": 2}
+
+    def test_having_with_alias(self, engine):
+        r = engine.execute(
+            "SELECT a.city AS c, COUNT(*) FROM MATCH (a:Person) "
+            "WHERE a.city IS NOT NULL GROUP BY a.city HAVING c = 'Pisa'"
+        )
+        assert r.rows == [("Pisa", 1)]
+
+    def test_having_arithmetic(self, engine):
+        r = engine.execute(
+            "SELECT a.city, COUNT(*) FROM MATCH (a:Person) "
+            "WHERE a.city IS NOT NULL GROUP BY a.city HAVING COUNT(*) * 2 > 4"
+        )
+        assert dict(r.rows) == {"Oslo": 3}
+
+    def test_having_unresolvable_rejected(self, engine):
+        with pytest.raises(PlanningError):
+            engine.execute(
+                "SELECT a.city, COUNT(*) FROM MATCH (a:Person) "
+                "GROUP BY a.city HAVING SUM(a.idx) > 3"
+            )
+
+    def test_baselines_agree(self, graph, engine):
+        expected = engine.execute(self.QUERY).rows
+        assert BftEngine(graph).execute(self.QUERY).rows == expected
+        assert RecursiveEngine(graph).execute(self.QUERY).rows == expected
+
+    def test_round_trip(self):
+        q = parse(self.QUERY)
+        assert "HAVING" in str(q)
+        assert str(parse(str(q))) == str(q)

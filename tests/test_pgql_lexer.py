@@ -1,0 +1,76 @@
+"""Unit tests for the PGQL tokenizer."""
+
+import pytest
+
+from repro.errors import PgqlSyntaxError
+from repro.pgql import tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)]
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        toks = tokenize("SELECT select SeLeCt")
+        assert all(t.is_kw("select") for t in toks)
+
+    def test_identifiers(self):
+        toks = tokenize("foo _bar baz9")
+        assert [t.kind for t in toks] == ["ident"] * 3
+        assert [t.text for t in toks] == ["foo", "_bar", "baz9"]
+
+    def test_integer_and_float(self):
+        toks = tokenize("42 3.14")
+        assert [t.text for t in toks] == ["42", "3.14"]
+        assert all(t.kind == "number" for t in toks)
+
+    def test_string_with_escaped_quote(self):
+        toks = tokenize("'it''s'")
+        assert toks[0].kind == "string"
+        assert toks[0].text == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(PgqlSyntaxError):
+            tokenize("'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(PgqlSyntaxError) as exc:
+            tokenize("a @ b")
+        assert exc.value.position == 2
+
+
+class TestOperators:
+    def test_two_char_comparisons(self):
+        assert kinds("a <= b >= c <> d != e") == [
+            "ident", "<=", "ident", ">=", "ident", "<>", "ident", "!=", "ident",
+        ]
+
+    def test_pattern_punctuation_is_single_chars(self):
+        assert kinds("-[:KNOWS]->") == ["-", "[", ":", "ident", "]", "-", ">"]
+
+    def test_rpq_punctuation(self):
+        assert kinds("-/:p+/->") == ["-", "/", ":", "ident", "+", "/", "-", ">"]
+
+    def test_quantifier_braces(self):
+        assert kinds("{1,3}") == ["{", "number", ",", "number", "}"]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert texts("a -- comment\n b") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* stuff */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(PgqlSyntaxError):
+            tokenize("a /* oops")
+
+    def test_positions_recorded(self):
+        toks = tokenize("ab cd")
+        assert [t.pos for t in toks] == [0, 3]

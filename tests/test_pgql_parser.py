@@ -1,0 +1,213 @@
+"""Unit tests for the PGQL parser and AST."""
+
+import pytest
+
+from repro.errors import PgqlSyntaxError
+from repro.graph import Direction
+from repro.pgql import (
+    Aggregate,
+    Binary,
+    EdgePattern,
+    Literal,
+    PropRef,
+    Quantifier,
+    RpqPattern,
+    VarRef,
+    parse,
+    parse_expression,
+    split_conjuncts,
+)
+
+
+class TestSelectFrom:
+    def test_count_star(self):
+        q = parse("SELECT COUNT(*) FROM MATCH (a)")
+        assert len(q.select) == 1
+        agg = q.select[0].expr
+        assert isinstance(agg, Aggregate)
+        assert agg.func == "count" and agg.arg is None
+
+    def test_distinct_and_alias(self):
+        q = parse("SELECT DISTINCT a.name AS n FROM MATCH (a:Person)")
+        assert q.distinct
+        assert q.select[0].alias == "n"
+
+    def test_multiple_match_patterns(self):
+        q = parse("SELECT COUNT(*) FROM MATCH (a)->(b), MATCH (c)->(d)")
+        assert len(q.match_patterns) == 2
+
+    def test_comma_separated_without_match_keyword(self):
+        q = parse("SELECT COUNT(*) FROM MATCH (a)->(b), (b)->(c)")
+        assert len(q.match_patterns) == 2
+
+    def test_group_order_limit(self):
+        q = parse(
+            "SELECT a.city, COUNT(*) FROM MATCH (a:Person) "
+            "GROUP BY a.city ORDER BY COUNT(*) DESC, a.city LIMIT 10"
+        )
+        assert len(q.group_by) == 1
+        assert q.order_by[0].descending
+        assert not q.order_by[1].descending
+        assert q.limit == 10
+
+
+class TestVertexAndEdgePatterns:
+    def test_vertex_variants(self):
+        q = parse("SELECT COUNT(*) FROM MATCH (a:Person)-[:KNOWS]->(:Person)-[e]->( )")
+        vs = q.match_patterns[0].vertices
+        assert vs[0].var == "a" and vs[0].labels == ("Person",)
+        assert vs[1].var is None and vs[1].labels == ("Person",)
+        assert vs[2].var is None and vs[2].labels == ()
+
+    def test_edge_directions(self):
+        q = parse("SELECT COUNT(*) FROM MATCH (a)-[:X]->(b)<-[:Y]-(c)-[:Z]-(d)")
+        conns = q.match_patterns[0].connectors
+        assert conns[0].direction is Direction.OUT
+        assert conns[1].direction is Direction.IN
+        assert conns[2].direction is Direction.BOTH
+
+    def test_plain_arrows(self):
+        q = parse("SELECT COUNT(*) FROM MATCH (a)->(b)-(c)")
+        conns = q.match_patterns[0].connectors
+        assert isinstance(conns[0], EdgePattern)
+        assert conns[0].labels == ()
+        assert conns[0].direction is Direction.OUT
+        assert conns[1].direction is Direction.BOTH
+
+    def test_label_alternatives(self):
+        q = parse("SELECT COUNT(*) FROM MATCH (m:Post|Comment)-[:LIKES|KNOWS]->(x)")
+        assert q.match_patterns[0].vertices[0].labels == ("Post", "Comment")
+        assert q.match_patterns[0].connectors[0].labels == ("LIKES", "KNOWS")
+
+    def test_edge_variable(self):
+        q = parse("SELECT COUNT(*) FROM MATCH (a)-[e:KNOWS]->(b)")
+        assert q.match_patterns[0].connectors[0].var == "e"
+
+
+class TestRpqSegments:
+    @pytest.mark.parametrize(
+        "quant,expected",
+        [
+            ("*", Quantifier(0, None)),
+            ("+", Quantifier(1, None)),
+            ("?", Quantifier(0, 1)),
+            ("{3}", Quantifier(3, 3)),
+            ("{2,}", Quantifier(2, None)),
+            ("{1,4}", Quantifier(1, 4)),
+        ],
+    )
+    def test_quantifiers(self, quant, expected):
+        q = parse(f"SELECT COUNT(*) FROM MATCH (a)-/:p{quant}/->(b)")
+        seg = q.match_patterns[0].connectors[0]
+        assert isinstance(seg, RpqPattern)
+        assert seg.quantifier == expected
+        assert seg.direction is Direction.OUT
+
+    def test_reverse_rpq(self):
+        q = parse("SELECT COUNT(*) FROM MATCH (a)<-/:p+/-(b)")
+        assert q.match_patterns[0].connectors[0].direction is Direction.IN
+
+    def test_undirected_rpq(self):
+        q = parse("SELECT COUNT(*) FROM MATCH (a)-/:knows{1,2}/-(b)")
+        assert q.match_patterns[0].connectors[0].direction is Direction.BOTH
+
+    def test_bad_quantifier_bounds(self):
+        with pytest.raises(PgqlSyntaxError):
+            parse("SELECT COUNT(*) FROM MATCH (a)-/:p{3,1}/->(b)")
+
+
+class TestPathMacros:
+    def test_macro_with_where(self):
+        q = parse(
+            "PATH p AS (x:Person)-[:KNOWS]->(y:Person) WHERE x.age <= y.age "
+            "SELECT COUNT(*) FROM MATCH (a)-/:p+/->(b)"
+        )
+        macro = q.macro("p")
+        assert macro is not None
+        assert macro.where is not None
+        assert macro.pattern.vertices[0].var == "x"
+
+    def test_macro_lookup_case_insensitive(self):
+        q = parse("PATH Pat AS (x)->(y) SELECT COUNT(*) FROM MATCH (a)-/:pat*/->(b)")
+        assert q.macro("PAT") is not None
+
+    def test_multiple_macros(self):
+        q = parse(
+            "PATH p1 AS (x)-[:A]->(y) "
+            "PATH p2 AS (x)-[:B]->(y) "
+            "SELECT COUNT(*) FROM MATCH (a)-/:p1+/->(b)-/:p2*/->(c)"
+        )
+        assert len(q.path_macros) == 2
+
+
+class TestExpressions:
+    def test_precedence_or_and(self):
+        e = parse_expression("a.x = 1 OR a.y = 2 AND a.z = 3")
+        assert isinstance(e, Binary) and e.op == "or"
+        assert e.right.op == "and"
+
+    def test_arithmetic_precedence(self):
+        e = parse_expression("1 + 2 * 3")
+        assert e.op == "+"
+        assert e.right.op == "*"
+
+    def test_unary_minus(self):
+        e = parse_expression("a.x < -1")
+        assert e.op == "<"
+        assert isinstance(e.right.operand, Literal)
+
+    def test_not(self):
+        e = parse_expression("NOT a.x = 1")
+        assert e.op == "not"
+
+    def test_function_call(self):
+        e = parse_expression("id(a) = 5")
+        assert e.left.name == "id"
+        assert isinstance(e.left.args[0], VarRef)
+
+    def test_prop_ref(self):
+        e = parse_expression("person.firstName")
+        assert e == PropRef("person", "firstName")
+
+    def test_string_and_null_literals(self):
+        assert parse_expression("'abc'") == Literal("abc")
+        assert parse_expression("NULL") == Literal(None)
+        assert parse_expression("TRUE") == Literal(True)
+
+    def test_split_conjuncts(self):
+        e = parse_expression("a.x = 1 AND b.y = 2 AND c.z = 3")
+        parts = split_conjuncts(e)
+        assert len(parts) == 3
+
+    def test_variables_and_prop_refs(self):
+        e = parse_expression("a.x + b.y < c.z")
+        assert e.variables() == {"a", "b", "c"}
+        assert e.prop_refs() == {("a", "x"), ("b", "y"), ("c", "z")}
+
+
+class TestErrors:
+    def test_missing_select(self):
+        with pytest.raises(PgqlSyntaxError):
+            parse("FROM MATCH (a)")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(PgqlSyntaxError):
+            parse("SELECT COUNT(*) FROM MATCH (a) banana")
+
+    def test_unclosed_vertex(self):
+        with pytest.raises(PgqlSyntaxError):
+            parse("SELECT COUNT(*) FROM MATCH (a")
+
+    def test_double_headed_edge_rejected(self):
+        with pytest.raises(PgqlSyntaxError):
+            parse("SELECT COUNT(*) FROM MATCH (a)<-[:X]->(b)")
+
+    def test_round_trip_str_reparses(self):
+        text = (
+            "PATH p AS (x:Person)-[:KNOWS]->(y:Person) WHERE x.age <= y.age "
+            "SELECT COUNT(*) FROM MATCH (a:Person)-/:p{1,3}/->(b:Person) "
+            "WHERE a.age > 18"
+        )
+        q1 = parse(text)
+        q2 = parse(str(q1))
+        assert str(q1) == str(q2)

@@ -1,0 +1,239 @@
+"""Tests for the distributed-plan compiler: stages, hops, slots, RPQ expansion."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.graph import GraphBuilder
+from repro.pgql import parse
+from repro.plan import HopKind, StageKind, compile_query, explain
+
+
+@pytest.fixture(scope="module")
+def graph():
+    b = GraphBuilder()
+    people = [b.add_vertex("Person", name=f"p{i}", age=20 + i) for i in range(4)]
+    city = b.add_vertex("City", name="Oslo")
+    for i in range(3):
+        b.add_edge(people[i], people[i + 1], "KNOWS", since=2000 + i)
+    b.add_edge(people[0], city, "LOCATED_IN")
+    return b.build()
+
+
+def compiled(graph, text):
+    return compile_query(parse(text), graph)
+
+
+class TestSimplePlans:
+    def test_two_hop_plan_shape(self, graph):
+        plan = compiled(graph, "SELECT COUNT(*) FROM MATCH (a:Person)-[:KNOWS]->(b:Person)")
+        kinds = [s.kind for s in plan.stages]
+        assert kinds == [StageKind.VERTEX, StageKind.VERTEX]
+        assert plan.stages[0].hop.kind is HopKind.NEIGHBOR
+        assert plan.stages[1].hop.kind is HopKind.OUTPUT
+
+    def test_single_vertex_plan(self, graph):
+        plan = compiled(graph, "SELECT a.name FROM MATCH (a:City)")
+        assert plan.num_stages == 1
+        assert plan.stages[0].hop.kind is HopKind.OUTPUT
+
+    def test_bootstrap_single_vertex(self, graph):
+        plan = compiled(graph, "SELECT COUNT(*) FROM MATCH (a)->(b) WHERE id(a) = 2")
+        assert plan.bootstrap_single_vertex == 2
+
+    def test_label_ids_resolved(self, graph):
+        plan = compiled(graph, "SELECT COUNT(*) FROM MATCH (a:Person)")
+        person = graph.vertex_labels.id_of("Person")
+        assert plan.stages[0].label_ids == ((person,),)
+
+    def test_unknown_label_is_impossible(self, graph):
+        plan = compiled(graph, "SELECT COUNT(*) FROM MATCH (a:Alien)")
+        assert plan.stages[0].label_ids == ((-2,),)
+
+    def test_captures_cover_projections(self, graph):
+        plan = compiled(graph, "SELECT a.name, b.age FROM MATCH (a)-[:KNOWS]->(b)")
+        cap_slots = {
+            (s.var, c.prop)
+            for s in plan.stages
+            for c in s.captures
+            if c.kind == "prop"
+        }
+        assert ("a", "name") in cap_slots
+        assert ("b", "age") in cap_slots
+
+    def test_cycle_plan_uses_edge_hop(self, graph):
+        plan = compiled(graph, "SELECT COUNT(*) FROM MATCH (a)->(b)->(c)->(a)")
+        hop_kinds = [s.hop.kind for s in plan.stages if s.hop]
+        assert HopKind.EDGE in hop_kinds
+
+    def test_branching_plan_uses_inspect(self, graph):
+        plan = compiled(
+            graph,
+            "SELECT COUNT(*) FROM MATCH (a)->(b)->(c), MATCH (b)->(d) WHERE id(a)=0",
+        )
+        hop_kinds = [s.hop.kind for s in plan.stages if s.hop]
+        assert HopKind.INSPECT in hop_kinds
+
+    def test_producers_chain(self, graph):
+        plan = compiled(graph, "SELECT COUNT(*) FROM MATCH (a)-[:KNOWS]->(b)")
+        assert plan.stages[0].producers == ()
+        assert plan.stages[1].producers == ((0, "same"),)
+
+
+class TestRpqPlans:
+    def test_rpq_expansion_shape(self, graph):
+        plan = compiled(
+            graph, "SELECT COUNT(*) FROM MATCH (a:Person)-/:KNOWS{1,3}/->(b:Person)"
+        )
+        kinds = [s.kind for s in plan.stages]
+        assert kinds == [
+            StageKind.VERTEX,       # a
+            StageKind.RPQ_CONTROL,  # control
+            StageKind.PATH,         # macro x
+            StageKind.PATH,         # macro y
+            StageKind.VERTEX,       # b (exit)
+        ]
+        spec = plan.stages[1].rpq
+        assert spec.min_hops == 1 and spec.max_hops == 3
+        assert spec.path_entry == 2
+        assert spec.exit_stage == 4
+        assert spec.path_stages == (2, 3)
+
+    def test_control_entry_flags(self, graph):
+        plan = compiled(graph, "SELECT COUNT(*) FROM MATCH (a)-/:KNOWS+/->(b)")
+        assert plan.stages[0].hop.control_entry == "init"
+        last_path = plan.stages[plan.stages[1].rpq.path_stages[-1]]
+        assert last_path.hop.control_entry == "advance"
+
+    def test_unbounded_quantifier(self, graph):
+        plan = compiled(graph, "SELECT COUNT(*) FROM MATCH (a)-/:KNOWS*/->(b)")
+        spec = plan.rpq_specs()[0]
+        assert spec.min_hops == 0 and spec.max_hops is None
+
+    def test_macro_with_filter_compiles(self, graph):
+        plan = compiled(
+            graph,
+            "PATH p AS (x:Person)-[:KNOWS]->(y:Person) WHERE x.age <= y.age "
+            "SELECT COUNT(*) FROM MATCH (a:Person)-/:p+/->(b:Person)",
+        )
+        path_stages = [s for s in plan.stages if s.kind is StageKind.PATH]
+        # The macro WHERE attaches at y's path stage.
+        assert path_stages[1].filter is not None
+
+    def test_macro_multi_hop_path_stages(self, graph):
+        plan = compiled(
+            graph,
+            "PATH p AS (x)-[:KNOWS]->(m)-[:KNOWS]->(y) "
+            "SELECT COUNT(*) FROM MATCH (a)-/:p+/->(b)",
+        )
+        spec = plan.rpq_specs()[0]
+        assert len(spec.path_stages) == 3
+
+    def test_same_macro_twice_gets_renamed_vars(self, graph):
+        plan = compiled(
+            graph,
+            "PATH p AS (x)-[:KNOWS]->(y) "
+            "SELECT COUNT(*) FROM MATCH (a)-/:p+/->(b)-/:p+/->(c)",
+        )
+        assert plan.rpq_count == 2
+        path_vars = [s.var for s in plan.stages if s.kind is StageKind.PATH]
+        assert len(set(path_vars)) == 4  # x, y, x@1, y@1
+
+    def test_producers_of_rpq_stages(self, graph):
+        plan = compiled(graph, "SELECT COUNT(*) FROM MATCH (a)-/:KNOWS+/->(b)")
+        control = next(s for s in plan.stages if s.kind is StageKind.RPQ_CONTROL)
+        rels = {rel for _, rel in control.producers}
+        assert rels == {"zero", "plus_one"}
+        exit_stage = plan.stages[control.rpq.exit_stage]
+        assert (control.index, "any") in exit_stage.producers
+
+    def test_reverse_rpq_direction(self, graph):
+        # (a)<-/:KNOWS+/-(b) from a follows KNOWS edges backwards.
+        plan = compiled(graph, "SELECT COUNT(*) FROM MATCH (a)<-/:KNOWS+/-(b) WHERE id(a)=3")
+        path_stages = [s for s in plan.stages if s.kind is StageKind.PATH]
+        hop = path_stages[0].hop
+        from repro.graph import Direction
+
+        assert hop.direction is Direction.IN
+
+
+class TestCrossFilters:
+    QUERY = (
+        "PATH p AS (pa:Person)-[:KNOWS]->(pb:Person) "
+        "SELECT COUNT(*) FROM MATCH (p1:Person)-/:p*/->(p2:Person) "
+        "WHERE p1.age <= pa.age AND pb.age <= p2.age AND id(p1) = 0"
+    )
+
+    def test_deferred_cross_filter_creates_accumulator(self, graph):
+        plan = compiled(graph, self.QUERY)
+        spec = plan.rpq_specs()[0]
+        assert len(spec.accumulator_inits) == 1
+        slot, kind = spec.accumulator_inits[0]
+        assert kind == "max"
+        path_stages = [s for s in plan.stages if s.kind is StageKind.PATH]
+        assert any(s.acc_updates for s in path_stages)
+
+    def test_inline_cross_filter_attaches_to_path_stage(self, graph):
+        plan = compiled(graph, self.QUERY)
+        # p1.age <= pa.age can be evaluated at pa's path stage (p1 bound first).
+        path_stages = [s for s in plan.stages if s.kind is StageKind.PATH]
+        assert path_stages[0].filter is not None
+
+    def test_deferred_check_attaches_at_exit(self, graph):
+        plan = compiled(graph, self.QUERY)
+        exit_stage = plan.stages[plan.rpq_specs()[0].exit_stage]
+        assert exit_stage.filter is not None
+
+    def test_unsupported_deferred_shape_rejected(self, graph):
+        with pytest.raises(PlanningError):
+            compiled(
+                graph,
+                "PATH p AS (pa)-[:KNOWS]->(pb) "
+                "SELECT COUNT(*) FROM MATCH (p1)-/:p*/->(p2) "
+                "WHERE pa.age <> p2.age",
+            )
+
+
+class TestProjectionsAndAggregates:
+    def test_aggregate_marks_plan(self, graph):
+        plan = compiled(graph, "SELECT COUNT(*) FROM MATCH (a:Person)")
+        assert plan.has_aggregates
+        assert plan.projections[0].aggregate == "count"
+
+    def test_group_by_validation(self, graph):
+        with pytest.raises(PlanningError):
+            compiled(graph, "SELECT a.name, COUNT(*) FROM MATCH (a:Person)")
+
+    def test_group_by_accepts_matching_key(self, graph):
+        plan = compiled(
+            graph, "SELECT a.name, COUNT(*) FROM MATCH (a:Person) GROUP BY a.name"
+        )
+        assert len(plan.group_by) == 1
+
+    def test_order_by_resolves_to_select_item(self, graph):
+        plan = compiled(
+            graph,
+            "SELECT a.name AS n, COUNT(*) FROM MATCH (a:Person) "
+            "GROUP BY a.name ORDER BY COUNT(*) DESC, n",
+        )
+        assert plan.order_by == ((1, True), (0, False))
+
+    def test_order_by_unknown_rejected(self, graph):
+        with pytest.raises(PlanningError):
+            compiled(graph, "SELECT a.name FROM MATCH (a:Person) ORDER BY a.age")
+
+    def test_nested_aggregate_rejected(self, graph):
+        with pytest.raises(PlanningError):
+            compiled(graph, "SELECT COUNT(*) + 1 FROM MATCH (a:Person)")
+
+
+class TestExplain:
+    def test_explain_renders(self, graph):
+        plan = compiled(
+            graph,
+            "PATH p AS (x)-[:KNOWS]->(y) "
+            "SELECT COUNT(*) FROM MATCH (a:Person)-/:p{1,3}/->(b:Person) WHERE id(a)=0",
+        )
+        text = explain(plan)
+        assert "rpq#0[1,3]" in text
+        assert "control_entry=init" in text
+        assert "OUTPUT" in text

@@ -1,0 +1,138 @@
+"""Tests for pattern-graph construction and logical-plan ordering heuristics."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.pgql import parse
+from repro.plan import build_pattern_graph
+from repro.plan.logical import (
+    EdgeMatchOp,
+    InspectOp,
+    NeighborMatchOp,
+    OutputOp,
+    RpqMatchOp,
+    VertexMatchOp,
+)
+from repro.plan.planner import Planner, extract_single_match
+from repro.pgql import parse_expression
+
+
+def plan_ops(text):
+    return Planner(parse(text)).plan().ops
+
+
+class TestPatternGraph:
+    def test_shared_variables_merge(self):
+        q = parse("SELECT COUNT(*) FROM MATCH (a)->(b), MATCH (b)->(c)")
+        pg = build_pattern_graph(q)
+        assert set(pg.vertices) == {"a", "b", "c"}
+        assert len(pg.connectors) == 2
+
+    def test_anonymous_vertices_are_distinct(self):
+        q = parse("SELECT COUNT(*) FROM MATCH (a)->()->()")
+        pg = build_pattern_graph(q)
+        assert len(pg.vertices) == 3
+
+    def test_labels_accumulate_as_groups(self):
+        q = parse("SELECT COUNT(*) FROM MATCH (a:Person)->(b), MATCH (a:Message)->(c)")
+        pg = build_pattern_graph(q)
+        assert pg.vertices["a"].label_groups == (("Person",), ("Message",))
+
+    def test_disconnected_pattern_rejected(self):
+        q = parse("SELECT COUNT(*) FROM MATCH (a)->(b), MATCH (c)->(d)")
+        with pytest.raises(PlanningError):
+            build_pattern_graph(q)
+
+    def test_cartesian_vertices_rejected(self):
+        q = parse("SELECT COUNT(*) FROM MATCH (a), MATCH (b)")
+        with pytest.raises(PlanningError):
+            build_pattern_graph(q)
+
+    def test_single_vertex_allowed(self):
+        q = parse("SELECT COUNT(*) FROM MATCH (a:Person)")
+        pg = build_pattern_graph(q)
+        assert set(pg.vertices) == {"a"}
+
+
+class TestSingleMatchExtraction:
+    def test_id_equals_literal(self):
+        assert extract_single_match(parse_expression("id(v) = 42")) == ("v", 42)
+
+    def test_literal_equals_id(self):
+        assert extract_single_match(parse_expression("42 = id(v)")) == ("v", 42)
+
+    def test_non_single_match(self):
+        assert extract_single_match(parse_expression("id(v) < 42")) is None
+        assert extract_single_match(parse_expression("v.x = 42")) is None
+
+
+class TestOrderingHeuristics:
+    def test_single_match_vertex_starts(self):
+        # Heuristic (i): ID(b)=7 makes b the start even though a is first.
+        ops = plan_ops("SELECT COUNT(*) FROM MATCH (a)->(b) WHERE id(b) = 7")
+        assert isinstance(ops[0], VertexMatchOp) and ops[0].var == "b"
+        # Traversal from b follows the edge in reverse.
+        assert isinstance(ops[1], NeighborMatchOp) and ops[1].var == "a"
+
+    def test_filtered_vertex_preferred(self):
+        # Heuristic (ii): equality filter on c beats unfiltered a.
+        ops = plan_ops(
+            "SELECT COUNT(*) FROM MATCH (a)->(b)->(c) WHERE c.name = 'x'"
+        )
+        assert ops[0].var == "c"
+
+    def test_cycle_closes_with_edge_match(self):
+        # Heuristic (iii): triangle pattern uses one edge match.
+        ops = plan_ops("SELECT COUNT(*) FROM MATCH (a)->(b)->(c)->(a)")
+        kinds = [type(op).__name__ for op in ops]
+        assert kinds.count("EdgeMatchOp") == 1
+        assert kinds[-1] == "OutputOp"
+
+    def test_rpq_runs_before_neighbor(self):
+        # Heuristic (iv): from the start vertex, the RPQ segment is taken
+        # before the plain neighbor edge.
+        ops = plan_ops(
+            "SELECT COUNT(*) FROM MATCH (a)-/:knows+/->(b), MATCH (a)-[:LIKES]->(c) "
+            "WHERE id(a) = 1"
+        )
+        rpq_pos = next(i for i, op in enumerate(ops) if isinstance(op, RpqMatchOp))
+        nbr_pos = next(
+            i for i, op in enumerate(ops)
+            if isinstance(op, NeighborMatchOp) and op.var == "c"
+        )
+        assert rpq_pos < nbr_pos
+
+    def test_branching_pattern_gets_inspect(self):
+        # (a)->(b)->(c) plus (b)->(d): after reaching c we must return to b.
+        ops = plan_ops(
+            "SELECT COUNT(*) FROM MATCH (a)->(b)->(c), MATCH (b)->(d) WHERE id(a) = 0"
+        )
+        assert any(isinstance(op, InspectOp) and op.var == "b" for op in ops)
+
+    def test_plan_ends_with_output(self):
+        ops = plan_ops("SELECT COUNT(*) FROM MATCH (a)->(b)")
+        assert isinstance(ops[-1], OutputOp)
+
+    def test_all_connectors_covered(self):
+        ops = plan_ops("SELECT COUNT(*) FROM MATCH (a)->(b)->(c), MATCH (b)->(d)")
+        traversals = [
+            op for op in ops if isinstance(op, (NeighborMatchOp, EdgeMatchOp, RpqMatchOp))
+        ]
+        assert len(traversals) == 3
+
+    def test_describe_is_printable(self):
+        plan = Planner(
+            parse("SELECT COUNT(*) FROM MATCH (a)-/:p{1,3}/->(b) WHERE id(a)=0")
+        ).plan()
+        text = plan.describe()
+        assert "Rpq" in text and "Output" in text
+
+
+class TestMacroShadowing:
+    def test_macro_var_shadowing_match_var_rejected(self):
+        q = parse(
+            "PATH p AS (a)-[:X]->(y) "
+            "SELECT COUNT(*) FROM MATCH (a)-/:p+/->(b)"
+        )
+        with pytest.raises(PlanningError):
+            Planner(q)

@@ -1,0 +1,209 @@
+"""Unit tests for result sinks, aggregation merging, and final assembly."""
+
+import pytest
+
+from repro.engine.result import (
+    MachineSink,
+    ResultSet,
+    _AggAccumulator,
+    assemble_results,
+)
+from repro.errors import ExecutionError
+from repro.plan.stages import ProjectionSpec
+
+
+def plain_plan(num_cols=2, distinct=False, order_by=(), limit=None):
+    class Plan:
+        pass
+
+    plan = Plan()
+    plan.has_aggregates = False
+    plan.group_by = ()
+    plan.order_by = order_by
+    plan.limit = limit
+    plan.distinct = distinct
+    plan.projections = tuple(
+        ProjectionSpec(name=f"c{i}", compiled=(lambda i: lambda s: s.ctx[i])(i))
+        for i in range(num_cols)
+    )
+    return plan
+
+
+class TestAccumulators:
+    def test_count_ignores_none_unless_star(self):
+        star = _AggAccumulator("count", distinct=False)
+        star.update(None, is_star=True)
+        assert star.result() == 1
+        arg = _AggAccumulator("count", distinct=False)
+        arg.update(None, is_star=False)
+        arg.update(5, is_star=False)
+        assert arg.result() == 1
+
+    def test_sum_avg_min_max(self):
+        for func, expected in [("sum", 9), ("avg", 3.0), ("min", 1), ("max", 5)]:
+            acc = _AggAccumulator(func, distinct=False)
+            for v in (1, 3, 5, None):
+                acc.update(v, is_star=False)
+            assert acc.result() == expected
+
+    def test_empty_aggregates(self):
+        assert _AggAccumulator("count", False).result() == 0
+        assert _AggAccumulator("sum", False).result() is None
+        assert _AggAccumulator("min", False).result() is None
+
+    def test_distinct_count(self):
+        acc = _AggAccumulator("count", distinct=True)
+        for v in (1, 1, 2, None, 2):
+            acc.update(v, is_star=False)
+        assert acc.result() == 2
+
+    def test_distinct_sum_and_avg(self):
+        acc = _AggAccumulator("sum", distinct=True)
+        for v in (2, 2, 3):
+            acc.update(v, is_star=False)
+        assert acc.result() == 5
+        avg = _AggAccumulator("avg", distinct=True)
+        for v in (2, 2, 4):
+            avg.update(v, is_star=False)
+        assert avg.result() == 3.0
+
+    def test_merge(self):
+        a = _AggAccumulator("min", False)
+        b = _AggAccumulator("min", False)
+        a.update(5, False)
+        b.update(2, False)
+        a.merge(b)
+        assert a.result() == 2
+
+
+class TestAssembly:
+    def test_rows_merge_across_sinks_sorted(self):
+        plan = plain_plan()
+        s1, s2 = MachineSink(plan), MachineSink(plan)
+        s1.add([3, "c"])
+        s2.add([1, "a"])
+        s2.add([2, "b"])
+        rs = assemble_results(plan, [s1, s2])
+        assert rs.rows == [(1, "a"), (2, "b"), (3, "c")]
+
+    def test_distinct_dedups(self):
+        plan = plain_plan(distinct=True)
+        sink = MachineSink(plan)
+        for row in ([1, "x"], [1, "x"], [2, "y"]):
+            sink.add(row)
+        rs = assemble_results(plan, [sink])
+        assert len(rs) == 2
+
+    def test_order_by_none_sorts_last(self):
+        plan = plain_plan(order_by=((0, False),))
+        sink = MachineSink(plan)
+        for row in ([None, "n"], [2, "b"], [1, "a"]):
+            sink.add(row)
+        rs = assemble_results(plan, [sink])
+        assert rs.column(0) == [1, 2, None]
+
+    def test_order_by_descending_then_secondary(self):
+        plan = plain_plan(order_by=((0, True), (1, False)))
+        sink = MachineSink(plan)
+        for row in ([1, "b"], [2, "z"], [1, "a"]):
+            sink.add(row)
+        rs = assemble_results(plan, [sink])
+        assert rs.rows == [(2, "z"), (1, "a"), (1, "b")]
+
+    def test_limit(self):
+        plan = plain_plan(limit=2)
+        sink = MachineSink(plan)
+        for i in range(5):
+            sink.add([i, "x"])
+        rs = assemble_results(plan, [sink])
+        assert len(rs) == 2
+
+    def test_mixed_type_sort_is_stable_and_total(self):
+        plan = plain_plan(order_by=((0, False),))
+        sink = MachineSink(plan)
+        for row in (["b", 1], [2, 2], [None, 3], ["a", 4], [1, 5]):
+            sink.add(row)
+        rs = assemble_results(plan, [sink])
+        # numbers first, then strings, then NULLs
+        assert rs.column(0) == [1, 2, "a", "b", None]
+
+
+class TestResultSet:
+    def test_scalar_requires_1x1(self):
+        rs = ResultSet(["a", "b"], [(1, 2)])
+        with pytest.raises(ExecutionError):
+            rs.scalar()
+        rs2 = ResultSet(["a"], [(1,), (2,)])
+        with pytest.raises(ExecutionError):
+            rs2.scalar()
+        assert ResultSet(["a"], [(7,)]).scalar() == 7
+
+    def test_column_by_name_and_index(self):
+        rs = ResultSet(["x", "y"], [(1, "a"), (2, "b")])
+        assert rs.column("y") == ["a", "b"]
+        assert rs.column(0) == [1, 2]
+
+    def test_to_dicts(self):
+        rs = ResultSet(["x"], [(1,)])
+        assert rs.to_dicts() == [{"x": 1}]
+
+    def test_to_csv_string(self):
+        rs = ResultSet(["x", "y"], [(1, "a,b"), (None, "c")])
+        text = rs.to_csv()
+        lines = text.strip().splitlines()
+        assert lines[0] == "x,y"
+        assert lines[1] == '1,"a,b"'  # embedded comma quoted
+
+    def test_to_csv_file(self, tmp_path):
+        rs = ResultSet(["x"], [(1,), (2,)])
+        path = tmp_path / "out.csv"
+        assert rs.to_csv(path) is None
+        assert path.read_text().strip().splitlines() == ["x", "1", "2"]
+
+    def test_to_json(self):
+        import json
+
+        rs = ResultSet(["x"], [(1,), (None,)])
+        assert json.loads(rs.to_json()) == [{"x": 1}, {"x": None}]
+
+    def test_repr(self):
+        assert "rows=2" in repr(ResultSet(["x"], [(1,), (2,)]))
+
+
+class TestGroupedAssembly:
+    def make_grouped_plan(self):
+        class Plan:
+            pass
+
+        plan = Plan()
+        plan.has_aggregates = True
+        plan.group_by = (lambda s: s.ctx[0],)
+        plan.order_by = ()
+        plan.limit = None
+        plan.distinct = False
+        plan.projections = (
+            ProjectionSpec(name="key", compiled=lambda s: s.ctx[0]),
+            ProjectionSpec(name="n", compiled=None, aggregate="count"),
+            ProjectionSpec(name="total", compiled=lambda s: s.ctx[1], aggregate="sum"),
+        )
+        return plan
+
+    def test_group_merge_across_machines(self):
+        plan = self.make_grouped_plan()
+        s1, s2 = MachineSink(plan), MachineSink(plan)
+        s1.add(["a", 1])
+        s1.add(["b", 2])
+        s2.add(["a", 3])
+        rs = assemble_results(plan, [s1, s2])
+        assert dict((k, (n, t)) for k, n, t in rs.rows) == {
+            "a": (2, 4),
+            "b": (1, 2),
+        }
+
+    def test_group_keys_sorted_deterministically(self):
+        plan = self.make_grouped_plan()
+        sink = MachineSink(plan)
+        for key in ("z", "a", "m"):
+            sink.add([key, 1])
+        rs = assemble_results(plan, [sink])
+        assert rs.column("key") == ["a", "m", "z"]

@@ -1,0 +1,131 @@
+"""Tests for witness-path reconstruction."""
+
+import pytest
+
+from repro import GraphBuilder
+from repro.engine import witness_path
+from repro.errors import PlanningError
+from repro.graph.generators import chain_graph, cycle_graph, random_graph
+from repro.graph.types import Direction
+
+
+class TestSimplePaths:
+    def test_chain_shortest_witness(self):
+        g = chain_graph(6)
+        assert witness_path(g, 0, 3, "NEXT") == [0, 1, 2, 3]
+
+    def test_unreachable_returns_none(self):
+        g = chain_graph(4)
+        assert witness_path(g, 3, 0, "NEXT") is None
+
+    def test_zero_hops_self(self):
+        g = chain_graph(3)
+        assert witness_path(g, 1, 1, "NEXT", min_hops=0) == [1]
+
+    def test_min_hops_forces_longer_walk(self):
+        g = cycle_graph(4)
+        # src == dst with min 1: must go all the way around.
+        path = witness_path(g, 0, 0, "NEXT", min_hops=1)
+        assert path == [0, 1, 2, 3, 0]
+
+    def test_max_hops_bounds(self):
+        g = chain_graph(6)
+        assert witness_path(g, 0, 4, "NEXT", max_hops=3) is None
+        assert witness_path(g, 0, 4, "NEXT", max_hops=4) == [0, 1, 2, 3, 4]
+
+    def test_bfs_returns_minimum_repetitions(self):
+        b = GraphBuilder()
+        for _ in range(5):
+            b.add_vertex("N")
+        for s, d in [(0, 1), (1, 2), (2, 4), (0, 3), (3, 4)]:
+            b.add_edge(s, d, "E")
+        g = b.build()
+        path = witness_path(g, 0, 4, "E")
+        assert len(path) == 3  # 0 -> 3 -> 4 beats 0 -> 1 -> 2 -> 4
+
+    def test_pattern_text_form(self):
+        g = chain_graph(4)
+        assert witness_path(g, 0, 2, "(x)-[:NEXT]->(y)") == [0, 1, 2]
+
+    def test_reverse_direction_pattern(self):
+        g = chain_graph(4)
+        assert witness_path(g, 3, 1, "(x)<-[:NEXT]-(y)") == [3, 2, 1]
+
+
+class TestMultiHopMacro:
+    def test_intermediates_included(self):
+        g = chain_graph(7)
+        path = witness_path(g, 0, 4, "(x)-[:NEXT]->(m)-[:NEXT]->(y)")
+        assert path == [0, 1, 2, 3, 4]  # two repetitions, intermediates kept
+
+    def test_parity_constraint(self):
+        g = chain_graph(7)
+        # Two-hop repetitions can never land on an odd offset.
+        assert witness_path(g, 0, 3, "(x)-[:NEXT]->(m)-[:NEXT]->(y)") is None
+
+
+class TestFilters:
+    def test_where_filter_rejects_paths(self):
+        b = GraphBuilder()
+        v = [b.add_vertex("N", score=s) for s in (1, 5, 2, 9)]
+        for i in range(3):
+            b.add_edge(v[i], v[i + 1], "E")
+        g = b.build()
+        # Ascending-score walks only: 0(1) -> 1(5) fails 5 <= 2 at hop 2.
+        assert (
+            witness_path(g, 0, 3, "(x)-[:E]->(y)", where="x.score <= y.score")
+            is None
+        )
+        assert witness_path(g, 0, 1, "(x)-[:E]->(y)", where="x.score <= y.score") == [
+            0,
+            1,
+        ]
+
+    def test_edge_property_filter(self):
+        b = GraphBuilder()
+        for _ in range(4):
+            b.add_vertex("N")
+        b.add_edge(0, 1, "E", w=10)
+        b.add_edge(1, 2, "E", w=1)  # too small
+        b.add_edge(1, 3, "E", w=10)
+        g = b.build()
+        path = witness_path(g, 0, 3, "(x)-[t:E]->(y)", where="t.w >= 5")
+        assert path == [0, 1, 3]
+        assert witness_path(g, 0, 2, "(x)-[t:E]->(y)", where="t.w >= 5") is None
+
+    def test_label_constraints(self):
+        b = GraphBuilder()
+        a = b.add_vertex("A")
+        bad = b.add_vertex("B")
+        c = b.add_vertex("A")
+        b.add_edge(a, bad, "E")
+        b.add_edge(bad, c, "E")
+        g = b.build()
+        # Repetitions must connect A-labelled vertices only.
+        assert witness_path(g, a, c, "(x:A)-[:E]->(y:A)") is None
+
+
+class TestUnboundedAndConsistency:
+    def test_unbounded_on_cycle(self):
+        g = cycle_graph(5)
+        path = witness_path(g, 0, 3, "NEXT")
+        assert path == [0, 1, 2, 3]
+
+    def test_witness_validates_against_graph(self):
+        g = random_graph(25, 80, seed=12)
+        count = 0
+        for dst in range(25):
+            path = witness_path(g, 0, dst, "LINK", min_hops=1, max_hops=4)
+            if path is None:
+                continue
+            count += 1
+            assert path[0] == 0 and path[-1] == dst
+            assert 1 <= len(path) - 1 <= 4
+            for u, v in zip(path, path[1:]):
+                assert g.find_edge(u, v, Direction.OUT) >= 0
+        assert count > 0
+
+    def test_pattern_without_edge_rejected(self):
+        g = chain_graph(3)
+        with pytest.raises(PlanningError):
+            witness_path(g, 0, 1, "(x)")
