@@ -1,0 +1,34 @@
+"""Static and dynamic correctness tooling for the RPQd runtime.
+
+Three layers, all centred on the distributed-protocol invariants the paper
+states in prose but the code cannot express in types:
+
+* :mod:`repro.analysis.linter` — a small AST lint framework with
+  repo-specific rules (RPQ001..RPQ006) run via ``python -m repro analyze``;
+* :mod:`repro.analysis.sanitizer` — a config-gated runtime sanitizer whose
+  assertion hooks are wired into flow control, termination detection, and
+  the reachability index (zero work when disabled);
+* :mod:`repro.analysis.races` — a schedule race detector that re-runs query
+  workloads under permuted scheduler interleavings and asserts result-set
+  invariance (run-based RPQ semantics make the result set schedule-
+  independent, so any divergence is a hidden order dependence).
+
+See ``docs/analysis.md`` for the rule catalogue and invariant list.
+"""
+
+from .linter import LintViolation, Linter, ProjectSource, lint_package
+from .races import RaceReport, run_schedule_sweep
+from .rules import ALL_RULES
+from .sanitizer import RuntimeSanitizer, sanitizer_from_config
+
+__all__ = [
+    "ALL_RULES",
+    "LintViolation",
+    "Linter",
+    "ProjectSource",
+    "RaceReport",
+    "RuntimeSanitizer",
+    "lint_package",
+    "run_schedule_sweep",
+    "sanitizer_from_config",
+]

@@ -1,0 +1,56 @@
+"""Gated runners for the generic linters (ruff, mypy).
+
+``python -m repro analyze`` runs the repo-specific protocol rules always,
+and ruff/mypy *when installed* — the container images used in CI carry
+them via the ``dev`` extra, but a bare ``pip install repro`` must not make
+``analyze`` unusable.  A missing tool is reported as skipped, never as a
+failure.
+"""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+
+def _tool_available(module_name):
+    return importlib.util.find_spec(module_name) is not None
+
+
+def _repo_root():
+    """The checkout root when running from a source tree, else ``None``."""
+    package_dir = pathlib.Path(__file__).resolve().parent.parent
+    root = package_dir.parent.parent  # src/repro -> src -> checkout root
+    if (root / "pyproject.toml").exists():
+        return root
+    return None
+
+
+def run_external_linters(stream=sys.stdout):
+    """Run ruff and mypy if importable; returns the worst exit code.
+
+    Each tool runs over the package source with the configuration from
+    ``pyproject.toml``.  Returns 0 when every available tool passes (or no
+    tool is available), 1 otherwise.
+    """
+    root = _repo_root()
+    package_dir = pathlib.Path(__file__).resolve().parent.parent
+    target = str(root / "src") if root is not None else str(package_dir)
+    worst = 0
+    for module_name, argv in (
+        ("ruff", [sys.executable, "-m", "ruff", "check", target]),
+        ("mypy", [sys.executable, "-m", "mypy", target]),
+    ):
+        if not _tool_available(module_name):
+            print(f"-- {module_name}: skipped (not installed)", file=stream)
+            continue
+        proc = subprocess.run(argv, cwd=root, capture_output=True, text=True)
+        output = (proc.stdout + proc.stderr).strip()
+        if proc.returncode == 0:
+            print(f"-- {module_name}: ok", file=stream)
+        else:
+            print(f"-- {module_name}: FAILED", file=stream)
+            if output:
+                print(output, file=stream)
+            worst = 1
+    return worst

@@ -1,0 +1,186 @@
+"""A tiny AST lint framework for repo-specific protocol rules.
+
+The generic linters (ruff, flake8) check Python hygiene; the rules here
+check *distributed-protocol* conventions that only make sense for this
+codebase — e.g. "termination counters are mutated only through
+``TerminationTracker`` methods" or "no preemption point between a
+reachability-index check and its update".  Rules see the whole project at
+once (a :class:`ProjectSource`), so cross-file checks such as message-field
+drift between ``runtime/message.py`` and its construction sites are
+first-class.
+
+Rules are plain objects with a ``rule_id``, a ``title``, a ``rationale``
+and a ``check(project)`` generator; the framework handles file collection,
+parsing, ordering, and reporting.
+"""
+
+import ast
+import pathlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One finding: rule id, location, and a human-readable message."""
+
+    rule_id: str
+    path: str
+    line: int
+    message: str
+
+    def format(self):
+        return f"{self.path}:{self.line}: {self.rule_id} {self.message}"
+
+
+@dataclass(frozen=True)
+class ModuleSource:
+    """One parsed module: repo-relative path, raw text, and its AST."""
+
+    path: str
+    text: str
+    tree: ast.Module
+
+
+class ProjectSource:
+    """The parsed source set a lint run operates over.
+
+    ``from_sources`` builds a project from in-memory ``{path: code}``
+    mappings so every rule can be unit-tested against seeded violation
+    snippets without touching the filesystem.
+    """
+
+    def __init__(self, modules):
+        self.modules = modules  # {relpath: ModuleSource}
+
+    @classmethod
+    def from_sources(cls, sources):
+        modules = {}
+        for path, text in sources.items():
+            modules[path] = ModuleSource(path, text, ast.parse(text, filename=path))
+        return cls(modules)
+
+    @classmethod
+    def from_package(cls, package_root):
+        """Collect every ``*.py`` under ``package_root`` (a directory)."""
+        root = pathlib.Path(package_root)
+        sources = {}
+        for path in sorted(root.rglob("*.py")):
+            rel = str(path.relative_to(root.parent)).replace("\\", "/")
+            sources[rel] = path.read_text()
+        return cls.from_sources(sources)
+
+    def find_class(self, class_name):
+        """Locate ``(relpath, ClassDef)`` of a top-level class, or ``None``."""
+        for path, module in self.modules.items():
+            for node in module.tree.body:
+                if isinstance(node, ast.ClassDef) and node.name == class_name:
+                    return path, node
+        return None
+
+    def walk_functions(self):
+        """Yield ``(relpath, FunctionDef)`` for every function in the project."""
+        for path, module in self.modules.items():
+            for node in ast.walk(module.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield path, node
+
+
+class LintRule:
+    """Base class for rules; subclasses set the metadata and ``check``."""
+
+    rule_id = "RPQ000"
+    title = "unnamed rule"
+    rationale = ""
+
+    def check(self, project):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def violation(self, path, node, message):
+        return LintViolation(self.rule_id, path, getattr(node, "lineno", 0), message)
+
+
+class Linter:
+    """Runs a rule set over a project and returns sorted violations."""
+
+    def __init__(self, rules=None):
+        if rules is None:
+            from .rules import ALL_RULES
+
+            rules = [rule_cls() for rule_cls in ALL_RULES]
+        self.rules = rules
+
+    def run(self, project):
+        violations = []
+        for rule in self.rules:
+            violations.extend(rule.check(project))
+        return sorted(violations, key=lambda v: (v.path, v.line, v.rule_id))
+
+
+def lint_package(package_root=None, rules=None):
+    """Lint a package directory (default: the installed ``repro`` package)."""
+    if package_root is None:
+        package_root = pathlib.Path(__file__).resolve().parent.parent
+    package_root = pathlib.Path(package_root)
+    if not package_root.is_dir():
+        raise FileNotFoundError(f"no such package directory: {package_root}")
+    project = ProjectSource.from_package(package_root)
+    return Linter(rules).run(project)
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers used by several rules.
+# ---------------------------------------------------------------------------
+
+def call_name(node):
+    """The trailing attribute/function name of a Call's callee, or ``None``."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def base_name(expr):
+    """Best-effort name of an attribute access base: ``a.b.c`` -> ``"c"``.
+
+    For ``config.batch_size`` the base is ``Name('config')`` -> ``"config"``;
+    for ``self.config.batch_size`` it is ``Attribute(attr='config')`` ->
+    ``"config"`` as well, which is what attribute-existence rules key on.
+    """
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+def dataclass_fields(class_node):
+    """``(all_fields, required_fields)`` of a dataclass body, in order.
+
+    ``required_fields`` are those without a default or ``field(...)``
+    initializer — the ones every construction site must supply.
+    """
+    fields = []
+    required = []
+    for stmt in class_node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            name = stmt.target.id
+            fields.append(name)
+            if stmt.value is None:
+                required.append(name)
+    return fields, required
+
+
+def is_dataclass(class_node):
+    for deco in class_node.decorator_list:
+        name = None
+        if isinstance(deco, ast.Name):
+            name = deco.id
+        elif isinstance(deco, ast.Attribute):
+            name = deco.attr
+        elif isinstance(deco, ast.Call):
+            name = call_name(deco)
+        if name == "dataclass":
+            return True
+    return False

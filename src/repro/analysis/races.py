@@ -1,0 +1,81 @@
+"""Schedule race detector — result-set invariance across interleavings.
+
+Run-based RPQ semantics (and the paper's homomorphic result counting) make
+a query's *result set* independent of execution order: however the
+cooperative scheduler interleaves machines and workers, the same rows must
+come out.  That gives us a cheap oracle for order-dependence bugs in
+worker/control-stage code: re-run the same workload under ``N`` permuted
+scheduler interleavings (``EngineConfig.schedule_seed``) and diff the
+sorted result sets against the canonical schedule.  Any mismatch is a
+hidden race — typically a context mutation that escapes the undo log, a
+reachability-index decision that depended on arrival order, or a
+termination conclusion that cut work off early.
+
+The harness also records each run's *schedule fingerprint* (an accumulated
+hash of the per-round service orders) so tests can assert the
+interleavings genuinely differed rather than trivially agreeing.
+"""
+
+from dataclasses import dataclass, field
+
+
+def _canonical_rows(result):
+    """Sorted, hashable view of a result set (order-insensitive compare)."""
+    return tuple(sorted(tuple(row) for row in result.rows))
+
+
+@dataclass
+class RaceReport:
+    """Outcome of one query swept across scheduler interleavings."""
+
+    query: str
+    baseline_rows: tuple
+    seeds: list = field(default_factory=list)
+    fingerprints: list = field(default_factory=list)
+    mismatches: list = field(default_factory=list)  # [(seed, rows)]
+
+    @property
+    def ok(self):
+        return not self.mismatches
+
+    @property
+    def distinct_interleavings(self):
+        """Distinct schedules actually exercised (incl. the canonical one)."""
+        return len(set(self.fingerprints)) + 1
+
+    def summary(self):
+        status = "ok" if self.ok else f"{len(self.mismatches)} MISMATCHES"
+        return (
+            f"{self.query!r}: {len(self.seeds)} seeded schedules, "
+            f"{self.distinct_interleavings} distinct interleavings, {status}"
+        )
+
+
+def run_schedule_sweep(graph, queries, num_schedules=20, config=None, seeds=None):
+    """Sweep ``queries`` over permuted schedules; returns ``[RaceReport]``.
+
+    ``seeds`` overrides the default ``range(1, num_schedules + 1)``.  The
+    baseline run uses the canonical deterministic schedule
+    (``schedule_seed=None``); every seeded run must reproduce its result
+    set exactly (as a sorted multiset of rows).
+    """
+    from ..config import EngineConfig
+    from ..engine import RPQdEngine
+
+    config = config or EngineConfig()
+    if seeds is None:
+        seeds = list(range(1, num_schedules + 1))
+    engine = RPQdEngine(graph, config.with_(schedule_seed=None))
+    reports = []
+    for query in queries:
+        baseline = _canonical_rows(engine.execute(query))
+        report = RaceReport(query=query, baseline_rows=baseline)
+        for seed in seeds:
+            result = engine.execute(query, config=config.with_(schedule_seed=seed))
+            rows = _canonical_rows(result)
+            report.seeds.append(seed)
+            report.fingerprints.append(result.stats.schedule_fingerprint)
+            if rows != baseline:
+                report.mismatches.append((seed, rows))
+        reports.append(report)
+    return reports

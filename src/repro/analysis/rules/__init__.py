@@ -1,0 +1,28 @@
+"""The repo-specific lint rule catalogue (see ``docs/analysis.md``)."""
+
+from .atomicity import IndexAtomicityRule
+from .config_attrs import ConfigAttributeRule
+from .exceptions import RuntimeExceptionHygieneRule
+from .flow_control import CreditLeakRule
+from .serialization import MessageFieldDriftRule
+from .termination import TerminationCounterRule
+
+#: All rules, in id order.  ``Linter()`` instantiates each once per run.
+ALL_RULES = [
+    MessageFieldDriftRule,  # RPQ001
+    CreditLeakRule,  # RPQ002
+    IndexAtomicityRule,  # RPQ003
+    TerminationCounterRule,  # RPQ004
+    RuntimeExceptionHygieneRule,  # RPQ005
+    ConfigAttributeRule,  # RPQ006
+]
+
+__all__ = [
+    "ALL_RULES",
+    "ConfigAttributeRule",
+    "CreditLeakRule",
+    "IndexAtomicityRule",
+    "MessageFieldDriftRule",
+    "RuntimeExceptionHygieneRule",
+    "TerminationCounterRule",
+]

@@ -1,0 +1,72 @@
+"""RPQ003 — reachability-index check-and-update must be preemption-free.
+
+The paper guarantees index atomicity with atomic compare-and-swap; our
+cooperative scheduler guarantees it by convention instead: *an index
+check-and-update never spans a preemption point*
+(``src/repro/rpq/reachability.py``).  A preemption point in the simulated
+runtime is a generator/coroutine suspension (``yield``/``await``) — the
+scheduler can interleave other workers there.  The convention was enforced
+by nothing; this rule enforces it:
+
+* ``yield``/``await`` inside any function that touches the index (calls
+  ``check_and_update``/``depth_of`` or reads ``_first_level``) is flagged —
+  the check and the update could be separated by a suspension;
+* reaching into ``_first_level`` from outside the module that defines
+  ``ReachabilityIndex`` is flagged — callers must go through the atomic
+  ``check_and_update`` API, never re-implement check-then-update inline.
+"""
+
+import ast
+
+from ..linter import LintRule, call_name
+
+INDEX_CALLS = {"check_and_update", "depth_of"}
+PRIVATE_ATTR = "_first_level"
+
+
+class IndexAtomicityRule(LintRule):
+    rule_id = "RPQ003"
+    title = "no preemption point between index check and update"
+    rationale = (
+        "the cooperative-scheduler atomicity convention is the only thing "
+        "standing between the index and lost-update races"
+    )
+
+    def check(self, project):
+        defining = project.find_class("ReachabilityIndex")
+        defining_path = defining[0] if defining else None
+        for path, module in project.modules.items():
+            if path != defining_path:
+                for node in ast.walk(module.tree):
+                    if (
+                        isinstance(node, ast.Attribute)
+                        and node.attr == PRIVATE_ATTR
+                    ):
+                        yield self.violation(
+                            path,
+                            node,
+                            f"direct access to ReachabilityIndex.{PRIVATE_ATTR} "
+                            "outside its defining module; use the atomic "
+                            "check_and_update API",
+                        )
+        for path, func in project.walk_functions():
+            if not self._touches_index(func):
+                continue
+            for node in ast.walk(func):
+                if isinstance(node, (ast.Yield, ast.YieldFrom, ast.Await)):
+                    yield self.violation(
+                        path,
+                        node,
+                        f"suspension point inside {func.name!r}, which "
+                        "performs reachability-index operations; the "
+                        "check-and-update would span a preemption point",
+                    )
+
+    @staticmethod
+    def _touches_index(func):
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call) and call_name(node) in INDEX_CALLS:
+                return True
+            if isinstance(node, ast.Attribute) and node.attr == PRIVATE_ATTR:
+                return True
+        return False

@@ -1,0 +1,74 @@
+"""RPQ006 — config attributes read anywhere must exist on the config.
+
+``EngineConfig`` is a frozen dataclass threaded through every layer as
+``config`` / ``self.config`` / ``run_config``; its cost model travels as
+``cost`` / ``self.cost`` / ``config.cost``.  Python happily evaluates
+``config.bufers_per_machine`` at plan time and raises ``AttributeError``
+deep inside a query — or worse, a ``getattr(config, name, default)``
+fallback silently uses the default forever after a field rename.  This
+rule learns the field sets of ``EngineConfig`` and ``CostModel`` from
+their dataclass definitions and flags any attribute read through a
+config-shaped expression that names a nonexistent field.
+"""
+
+import ast
+
+from ..linter import LintRule, base_name, dataclass_fields
+
+#: Variable/attribute names treated as holding an ``EngineConfig``.
+CONFIG_NAMES = {"config", "run_config", "engine_config", "base_config"}
+#: Names treated as holding a ``CostModel``.
+COST_NAMES = {"cost"}
+
+
+def _class_members(class_node):
+    """Dataclass fields plus methods/properties defined on the class."""
+    fields, _ = dataclass_fields(class_node)
+    members = set(fields)
+    for stmt in class_node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            members.add(stmt.name)
+    return members
+
+
+class ConfigAttributeRule(LintRule):
+    rule_id = "RPQ006"
+    title = "config attribute reads must name existing fields"
+    rationale = (
+        "a misspelled or renamed config field surfaces as a runtime "
+        "AttributeError mid-query instead of a lint error"
+    )
+
+    def check(self, project):
+        engine = project.find_class("EngineConfig")
+        cost = project.find_class("CostModel")
+        if engine is None:
+            return
+        config_path, engine_node = engine
+        config_members = _class_members(engine_node)
+        cost_members = _class_members(cost[1]) if cost else set()
+        for path, module in project.modules.items():
+            if path == config_path:
+                continue  # the defining module may use self.<field> freely
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Attribute):
+                    continue
+                base = base_name(node.value)
+                if base in CONFIG_NAMES:
+                    if node.attr.startswith("__"):
+                        continue
+                    if node.attr not in config_members:
+                        yield self.violation(
+                            path,
+                            node,
+                            f"EngineConfig has no attribute {node.attr!r}",
+                        )
+                elif base in COST_NAMES and cost_members:
+                    if node.attr.startswith("__"):
+                        continue
+                    if node.attr not in cost_members:
+                        yield self.violation(
+                            path,
+                            node,
+                            f"CostModel has no attribute {node.attr!r}",
+                        )

@@ -1,0 +1,78 @@
+"""RPQ005 — no bare or swallowed exceptions in the runtime.
+
+The distributed runtime is a protocol machine: an unexpected exception in
+a worker, the flow controller, or the termination protocol means an
+invariant broke, and the only correct reaction is to crash the simulated
+cluster loudly (the scheduler's stall diagnosis depends on it).  A bare
+``except:``, a blanket ``except Exception:`` that does not re-raise, or a
+handler that silently ``pass``es converts protocol violations into silent
+counter drift and hung queries.  Scope: modules under ``runtime/``.
+"""
+
+import ast
+
+from ..linter import LintRule
+
+#: Path fragment selecting the modules this rule applies to.
+RUNTIME_FRAGMENT = "runtime/"
+
+BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _is_swallow(handler):
+    """Handler body does nothing but pass/``...``."""
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        )
+        for stmt in handler.body
+    )
+
+
+def _reraises(handler):
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+class RuntimeExceptionHygieneRule(LintRule):
+    rule_id = "RPQ005"
+    title = "no bare/swallowed exceptions inside the runtime"
+    rationale = (
+        "a swallowed exception in protocol code turns invariant violations "
+        "into silent drift and hung queries"
+    )
+
+    def check(self, project):
+        for path, module in project.modules.items():
+            if RUNTIME_FRAGMENT not in path:
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                if node.type is None:
+                    yield self.violation(
+                        path, node, "bare except: in runtime protocol code"
+                    )
+                    continue
+                if _is_swallow(node):
+                    yield self.violation(
+                        path,
+                        node,
+                        "exception swallowed (handler body is pass); "
+                        "runtime errors must propagate or be handled",
+                    )
+                    continue
+                names = {
+                    n.id
+                    for n in ast.walk(node.type)
+                    if isinstance(n, ast.Name)
+                }
+                if names & BROAD_NAMES and not _reraises(node):
+                    yield self.violation(
+                        path,
+                        node,
+                        "broad except Exception without re-raise in "
+                        "runtime protocol code",
+                    )

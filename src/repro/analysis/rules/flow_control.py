@@ -1,0 +1,142 @@
+"""RPQ002 — every acquired flow-control credit must have an owner.
+
+``FlowControl.try_acquire`` hands out a send credit that is only returned
+when a DONE message comes back for the batch that carried it.  A call site
+that drops the credit (or never attaches it to a batch) leaks buffer
+budget until the cluster deadlocks — the paper's Section 3.3 livelock,
+reintroduced by a refactor.  The rule checks, per function containing a
+``try_acquire`` call, that the acquired key:
+
+* is captured into a variable (not discarded),
+* is ``None``-checked before use (acquisition can fail under back-pressure),
+* and reaches an owner on some path: a ``release(key)`` call, an assignment
+  to a ``credit_key`` attribute/keyword (ownership moves to the batch and
+  the DONE protocol), or a ``return key`` (ownership moves to the caller).
+
+This is an intraprocedural approximation of "a reachable release on all
+paths": it cannot prove path coverage, but it catches the real failure
+mode — a credit that has no owner anywhere in the acquiring function.
+"""
+
+import ast
+
+from ..linter import LintRule, call_name
+
+
+def _acquire_calls(func):
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call) and call_name(node) == "try_acquire":
+            yield node
+
+
+def _names_in(expr):
+    return {n.id for n in ast.walk(expr) if isinstance(n, ast.Name)}
+
+
+class CreditLeakRule(LintRule):
+    rule_id = "RPQ002"
+    title = "try_acquire credits must be checked and released or handed off"
+    rationale = (
+        "a leaked send credit permanently shrinks the buffer budget and "
+        "eventually deadlocks flow control"
+    )
+
+    def check(self, project):
+        for path, func in project.walk_functions():
+            acquires = list(_acquire_calls(func))
+            if not acquires:
+                continue
+            yield from self._check_function(path, func, acquires)
+
+    def _check_function(self, path, func, acquires):
+        # Map each acquire call to the variable its result lands in.
+        captured = {}  # id(call node) -> variable name
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                if call_name(node.value) == "try_acquire":
+                    target = node.targets[0]
+                    if isinstance(target, ast.Name):
+                        captured[id(node.value)] = target.id
+        for call in acquires:
+            if id(call) in captured:
+                continue
+            parent_stmts = [
+                s
+                for s in ast.walk(func)
+                if isinstance(s, ast.Expr) and s.value is call
+            ]
+            if parent_stmts:
+                yield self.violation(
+                    path, call, "credit acquired by try_acquire is discarded"
+                )
+            elif not self._flows_out(func, call):
+                yield self.violation(
+                    path,
+                    call,
+                    "try_acquire result is neither captured nor returned; "
+                    "the credit has no owner",
+                )
+        for call_id, name in captured.items():
+            call = next(c for c in acquires if id(c) == call_id)
+            if not self._none_checked(func, name):
+                yield self.violation(
+                    path,
+                    call,
+                    f"try_acquire result {name!r} is never None-checked; "
+                    "acquisition fails under back-pressure",
+                )
+            if not self._has_owner(func, name):
+                yield self.violation(
+                    path,
+                    call,
+                    f"credit {name!r} is never released, attached to a "
+                    "batch via credit_key, or returned — it leaks",
+                )
+
+    @staticmethod
+    def _flows_out(func, call):
+        """True when the call feeds a return/assignment expression directly."""
+        for node in ast.walk(func):
+            if isinstance(node, ast.Return) and node.value is not None:
+                if any(sub is call for sub in ast.walk(node.value)):
+                    return True
+        return False
+
+    @staticmethod
+    def _none_checked(func, name):
+        for node in ast.walk(func):
+            if isinstance(node, ast.Compare) and len(node.comparators) == 1:
+                operands = [node.left, node.comparators[0]]
+                has_name = any(
+                    isinstance(op, ast.Name) and op.id == name for op in operands
+                )
+                has_none = any(
+                    isinstance(op, ast.Constant) and op.value is None
+                    for op in operands
+                )
+                if has_name and has_none:
+                    return True
+        return False
+
+    @staticmethod
+    def _has_owner(func, name):
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call) and call_name(node) == "release":
+                if any(name in _names_in(arg) for arg in node.args):
+                    return True
+            if isinstance(node, ast.Assign):
+                if name in _names_in(node.value):
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and target.attr == "credit_key"
+                        ):
+                            return True
+            if isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if kw.arg == "credit_key" and name in _names_in(kw.value):
+                        return True
+            if isinstance(node, ast.Return) and node.value is not None:
+                if name in _names_in(node.value):
+                    return True
+        return False

@@ -1,0 +1,128 @@
+"""RPQ001 — message dataclass fields must round-trip through construction.
+
+The wire protocol of the simulated cluster is the set of dataclasses in
+``runtime/message.py`` (``Batch``, ``DoneMessage``, ``StatusMessage``).
+Drift between those layouts and their construction sites — a field added to
+``StatusMessage`` that ``TerminationTracker.snapshot`` forgets to populate,
+a keyword that no longer names a field, positional construction that would
+silently re-bind on field reorder — produces wrong-but-plausible protocol
+state instead of an error.  This rule pins the contract:
+
+* construction sites may only pass keywords that name declared fields;
+* every field without a default must be passed explicitly;
+* message objects are constructed with keyword arguments only;
+* mutable payload fields (``dict``/``list`` defaults) must not alias live
+  state: passing a bare attribute such as ``self.sent`` into a snapshot
+  message shares the underlying counter and reintroduces exactly the
+  stale-snapshot race the termination protocol's confirmation step closes.
+"""
+
+import ast
+
+from ..linter import LintRule, call_name, dataclass_fields, is_dataclass
+
+#: Module suffix that defines the wire protocol.
+MESSAGE_MODULE_SUFFIX = "message.py"
+
+#: Calls that produce a defensive copy and are therefore safe to pass as a
+#: mutable payload field.
+COPYING_CALLS = {"dict", "list", "tuple", "sorted", "set", "frozenset", "copy", "deepcopy"}
+
+
+def _mutable_default_fields(class_node):
+    """Fields whose default is ``field(default_factory=dict|list)``."""
+    mutable = set()
+    for stmt in class_node.body:
+        if not (isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name)):
+            continue
+        value = stmt.value
+        if not (isinstance(value, ast.Call) and call_name(value) == "field"):
+            continue
+        for kw in value.keywords:
+            if kw.arg == "default_factory" and isinstance(kw.value, ast.Name):
+                if kw.value.id in ("dict", "list"):
+                    mutable.add(stmt.target.id)
+    return mutable
+
+
+class MessageFieldDriftRule(LintRule):
+    rule_id = "RPQ001"
+    title = "message dataclass fields must round-trip through construction"
+    rationale = (
+        "drift between runtime/message.py layouts and their construction "
+        "sites silently corrupts protocol state"
+    )
+
+    def check(self, project):
+        classes = {}  # name -> (fields, required, mutable)
+        for path, module in project.modules.items():
+            if not path.endswith(MESSAGE_MODULE_SUFFIX):
+                continue
+            for node in module.tree.body:
+                if isinstance(node, ast.ClassDef) and is_dataclass(node):
+                    fields, required = dataclass_fields(node)
+                    classes[node.name] = (
+                        set(fields),
+                        set(required),
+                        _mutable_default_fields(node),
+                    )
+        if not classes:
+            return
+        for path, module in project.modules.items():
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = call_name(node)
+                if name not in classes:
+                    continue
+                yield from self._check_site(path, node, name, classes[name])
+
+    def _check_site(self, path, node, name, spec):
+        fields, required, mutable = spec
+        if node.args:
+            yield self.violation(
+                path,
+                node,
+                f"{name} constructed with positional arguments; a field "
+                "reorder would silently re-bind the payload — use keywords",
+            )
+        passed = set()
+        for kw in node.keywords:
+            if kw.arg is None:  # **expansion: cannot verify statically
+                yield self.violation(
+                    path,
+                    node,
+                    f"{name} constructed with **kwargs; field coverage "
+                    "cannot be checked statically",
+                )
+                return
+            passed.add(kw.arg)
+            if kw.arg not in fields:
+                yield self.violation(
+                    path,
+                    node,
+                    f"{name} has no field {kw.arg!r} (call-site drift)",
+                )
+            elif kw.arg in mutable and self._aliases_live_state(kw.value):
+                yield self.violation(
+                    path,
+                    node,
+                    f"{name}.{kw.arg} aliases live mutable state; wrap it in "
+                    "dict()/list() so the snapshot is isolated",
+                )
+        missing = required - passed
+        for field_name in sorted(missing):
+            yield self.violation(
+                path,
+                node,
+                f"{name} constructed without required field {field_name!r}",
+            )
+
+    @staticmethod
+    def _aliases_live_state(expr):
+        """True when the argument is a bare name/attribute (no copy)."""
+        if isinstance(expr, (ast.Name, ast.Attribute, ast.Subscript)):
+            return True
+        if isinstance(expr, ast.Call):
+            return call_name(expr) not in COPYING_CALLS
+        return False

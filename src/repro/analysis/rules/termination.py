@@ -1,0 +1,75 @@
+"""RPQ004 — termination counters mutate only through tracker methods.
+
+Counting-based termination detection is sound only while ``sent`` and
+``processed`` move through the audited entry points
+(``TerminationTracker.record_sent`` / ``record_processed`` /
+``record_bootstrap``): those are where monotonicity holds by construction
+and where the runtime sanitizer hooks.  A stray ``tracker.sent[key] += 1``
+elsewhere silently drifts the counters — the query then either never
+terminates (sent > processed forever) or, worse, terminates early and
+drops results.  This rule bans any store, augmented store, or mutating
+method call on a ``sent``/``processed`` attribute outside the module that
+defines ``TerminationTracker``.
+"""
+
+import ast
+
+from ..linter import LintRule
+
+COUNTER_ATTRS = {"sent", "processed"}
+MUTATING_METHODS = {"update", "clear", "pop", "popitem", "setdefault", "subtract"}
+
+
+def _counter_attribute(expr):
+    """The Attribute node for ``X.sent`` / ``X.processed``, if present."""
+    if isinstance(expr, ast.Attribute) and expr.attr in COUNTER_ATTRS:
+        return expr
+    if isinstance(expr, ast.Subscript):
+        return _counter_attribute(expr.value)
+    return None
+
+
+class TerminationCounterRule(LintRule):
+    rule_id = "RPQ004"
+    title = "termination counters mutated only via TerminationTracker"
+    rationale = (
+        "counter drift outside the audited entry points breaks the "
+        "sent == processed termination condition undetectably"
+    )
+
+    def check(self, project):
+        defining = project.find_class("TerminationTracker")
+        defining_path = defining[0] if defining else None
+        for path, module in project.modules.items():
+            if path == defining_path:
+                continue
+            for node in ast.walk(module.tree):
+                if isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        attr = _counter_attribute(target)
+                        if attr is not None:
+                            yield self.violation(
+                                path,
+                                node,
+                                f"direct mutation of .{attr.attr}; use a "
+                                "TerminationTracker record_* method",
+                            )
+                elif isinstance(node, ast.Call):
+                    func = node.func
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and func.attr in MUTATING_METHODS
+                    ):
+                        attr = _counter_attribute(func.value)
+                        if attr is not None:
+                            yield self.violation(
+                                path,
+                                node,
+                                f".{attr.attr}.{func.attr}(...) mutates a "
+                                "termination counter outside the tracker",
+                            )

@@ -1,0 +1,197 @@
+"""Runtime protocol sanitizer — executable versions of the paper's prose
+invariants.
+
+When enabled (``EngineConfig(sanitize=True)`` or ``REPRO_SANITIZE=1``),
+one :class:`RuntimeSanitizer` is shared by every machine of a query
+execution and its hooks fire from the hot paths of:
+
+* **flow control** (Section 3.3) — per-bucket in-flight never exceeds the
+  bucket's capacity, the total in-flight counter always equals the sum of
+  the buckets, and every credit is back home once the query ends (credit
+  conservation);
+* **termination detection** (Section 3.4) — ``sent``/``processed`` are
+  monotone per machine, globally ``processed`` never exceeds ``sent`` on
+  any channel (processing cannot outrun creation), and a machine may only
+  *conclude* on a snapshot set strictly newer than its candidate's — the
+  stale-snapshot confirmation rule;
+* **reachability index** (Section 3.5) — the stored depth for an rpid
+  strictly decreases on overwrite (smallest-depth monotonicity).
+
+Every component takes ``sanitizer=None`` and guards each hook with a single
+``is not None`` test, so a disabled sanitizer costs one predictable branch
+and an enabled one fails fast with :class:`SanitizerViolation`.
+"""
+
+import os
+
+from ..errors import SanitizerViolation
+
+
+def sanitizer_enabled(config):
+    """True when the config flag or the ``REPRO_SANITIZE`` env var is set."""
+    if getattr(config, "sanitize", False):
+        return True
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+
+
+def sanitizer_from_config(config):
+    """A fresh :class:`RuntimeSanitizer`, or ``None`` when disabled."""
+    return RuntimeSanitizer() if sanitizer_enabled(config) else None
+
+
+class RuntimeSanitizer:
+    """Shared assertion hooks for one query execution."""
+
+    def __init__(self):
+        self.checks = 0  # hook invocations (observability / tests)
+        self._last_snapshots = {}  # machine_id -> {key: count} monotone floor
+        self._candidates = {}  # machine_id -> {src_machine: generation}
+
+    def _fail(self, invariant, detail):
+        raise SanitizerViolation(f"[sanitizer] {invariant}: {detail}")
+
+    # ------------------------------------------------------------------
+    # Flow control (Section 3.3)
+    # ------------------------------------------------------------------
+    def on_credit_acquired(self, flow, key, capacity):
+        self.checks += 1
+        used = flow._in_flight.get(key, 0)
+        if used > capacity:
+            self._fail(
+                "bucket within capacity",
+                f"machine {flow.machine_id} bucket {key!r} holds {used} "
+                f"in-flight credits > capacity {capacity}",
+            )
+        self.check_flow_consistent(flow)
+
+    def on_credit_released(self, flow, key):
+        self.checks += 1
+        used = flow._in_flight.get(key, 0)
+        if used < 0:
+            self._fail(
+                "no credit underflow",
+                f"machine {flow.machine_id} bucket {key!r} at {used}",
+            )
+        self.check_flow_consistent(flow)
+
+    def check_flow_consistent(self, flow):
+        self.checks += 1
+        total = sum(flow._in_flight.values())
+        if total != flow._total_in_flight:
+            self._fail(
+                "total equals sum of buckets",
+                f"machine {flow.machine_id}: _total_in_flight="
+                f"{flow._total_in_flight} but buckets sum to {total}",
+            )
+
+    def on_query_end(self, flows):
+        """All credits conserved: every machine's in-flight count is zero."""
+        self.checks += 1
+        for flow in flows:
+            self.check_flow_consistent(flow)
+            if flow._total_in_flight != 0:
+                leaked = {
+                    key: used
+                    for key, used in flow._in_flight.items()
+                    if used != 0
+                }
+                self._fail(
+                    "all credits returned at query end",
+                    f"machine {flow.machine_id} still holds {leaked!r}",
+                )
+
+    # ------------------------------------------------------------------
+    # Termination detection (Section 3.4)
+    # ------------------------------------------------------------------
+    def on_snapshot(self, machine_id, sent, processed):
+        """Counters are monotone: no snapshot may regress a counter."""
+        self.checks += 1
+        floor = self._last_snapshots.get(machine_id)
+        if floor is not None:
+            for (category, key), previous in floor.items():
+                current = (sent if category == "sent" else processed).get(key, 0)
+                if current < previous:
+                    self._fail(
+                        "monotone counters",
+                        f"machine {machine_id} {category}{key!r} regressed "
+                        f"{previous} -> {current}",
+                    )
+        merged = {("sent", key): count for key, count in sent.items()}
+        merged.update(
+            {("processed", key): count for key, count in processed.items()}
+        )
+        self._last_snapshots[machine_id] = merged
+
+    def check_global_counts(self, trackers):
+        """Globally, processing can never outrun creation on any channel."""
+        self.checks += 1
+        sent = {}
+        processed = {}
+        for tracker in trackers:
+            for key, count in tracker.sent.items():
+                sent[key] = sent.get(key, 0) + count
+            for key, count in tracker.processed.items():
+                processed[key] = processed.get(key, 0) + count
+        for key, done in processed.items():
+            if done > sent.get(key, 0):
+                self._fail(
+                    "processed <= sent per channel",
+                    f"channel {key!r}: processed={done} > "
+                    f"sent={sent.get(key, 0)}",
+                )
+
+    def check_final_counts(self, trackers):
+        """After conclusion and settling, every channel balances exactly."""
+        self.checks += 1
+        sent = {}
+        processed = {}
+        for tracker in trackers:
+            for key, count in tracker.sent.items():
+                sent[key] = sent.get(key, 0) + count
+            for key, count in tracker.processed.items():
+                processed[key] = processed.get(key, 0) + count
+        for key in set(sent) | set(processed):
+            if sent.get(key, 0) != processed.get(key, 0):
+                self._fail(
+                    "sent == processed at conclusion",
+                    f"channel {key!r}: sent={sent.get(key, 0)} "
+                    f"processed={processed.get(key, 0)} after the "
+                    "termination protocol concluded (early termination)",
+                )
+
+    def on_candidate(self, machine_id, gen_vector):
+        """The protocol formed a confirmation candidate from these snapshots."""
+        self.checks += 1
+        self._candidates[machine_id] = dict(gen_vector)
+
+    def on_conclude(self, machine_id, gen_vector):
+        """Conclusion requires strictly newer snapshots than the candidate."""
+        self.checks += 1
+        candidate = self._candidates.get(machine_id)
+        if candidate is None:
+            self._fail(
+                "confirmation requires a prior candidate",
+                f"machine {machine_id} concluded without a first evaluation",
+            )
+        for src, generation in gen_vector:
+            if generation <= candidate.get(src, -1):
+                self._fail(
+                    "confirmation only on strictly newer snapshots",
+                    f"machine {machine_id} concluded with generation "
+                    f"{generation} from machine {src}, not newer than "
+                    f"candidate's {candidate.get(src, -1)} (stale-snapshot "
+                    "race)",
+                )
+
+    # ------------------------------------------------------------------
+    # Reachability index (Section 3.5)
+    # ------------------------------------------------------------------
+    def on_index_overwrite(self, index, source_path_id, dst_vertex, old, new):
+        """Stored smallest depth strictly decreases on every overwrite."""
+        self.checks += 1
+        if new >= old:
+            self._fail(
+                "index depth strictly decreases on overwrite",
+                f"machine {index.machine_id} rpq {index.rpq_id} rpid "
+                f"({source_path_id}, {dst_vertex}): depth {old} -> {new}",
+            )

@@ -7,7 +7,10 @@ Subcommands:
   engine (``rpqd``, ``bft``, ``recursive``);
 * ``explain`` — print the distributed plan for a query;
 * ``workload`` — run the paper's nine benchmark queries on a generated
-  graph and print a latency table.
+  graph and print a latency table;
+* ``analyze`` — static analysis: the repo-specific protocol lint rules
+  (RPQ001..RPQ006) plus ruff/mypy when installed, and optionally the
+  schedule race detector (``--races N``).
 """
 
 import argparse
@@ -96,6 +99,54 @@ def cmd_explain(args):
     return 0
 
 
+def cmd_analyze(args):
+    from .analysis import ALL_RULES, lint_package, run_schedule_sweep
+    from .analysis.external import run_external_linters
+
+    if args.list_rules:
+        for rule_cls in ALL_RULES:
+            print(f"{rule_cls.rule_id}  {rule_cls.title}")
+            print(f"        {rule_cls.rationale}")
+        return 0
+
+    rc = 0
+    try:
+        violations = lint_package(args.path)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}")
+        return 2
+    for violation in violations:
+        print(violation.format())
+    if violations:
+        print(f"-- protocol lint: {len(violations)} violation(s)")
+        rc = 1
+    else:
+        print("-- protocol lint: ok "
+              f"({len(ALL_RULES)} rules: RPQ001..RPQ00{len(ALL_RULES)})")
+
+    if not args.no_external:
+        rc = max(rc, run_external_linters())
+
+    if args.races:
+        from .datagen import BENCHMARK_QUERIES, mini_ldbc
+
+        graph, info = mini_ldbc(args.scale, seed=args.seed)
+        config = EngineConfig(num_machines=args.machines)
+        queries = [build(info) for build in BENCHMARK_QUERIES.values()]
+        reports = run_schedule_sweep(
+            graph, queries, num_schedules=args.races, config=config
+        )
+        for report in reports:
+            print(f"-- races: {report.summary()}")
+        if any(not r.ok for r in reports):
+            print("-- race detector: RESULT-SET DIVERGENCE (order dependence)")
+            rc = 1
+        else:
+            print(f"-- race detector: ok ({len(reports)} queries x "
+                  f"{args.races} schedules)")
+    return rc
+
+
 def cmd_workload(args):
     from .datagen import BENCHMARK_QUERIES, mini_ldbc
 
@@ -158,6 +209,36 @@ def build_parser():
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--machines", type=int, default=4)
     p.set_defaults(func=cmd_workload)
+
+    p = sub.add_parser(
+        "analyze",
+        help="protocol lint rules + ruff/mypy + optional race detector",
+    )
+    p.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="package directory to lint (default: the installed repro package)",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    p.add_argument(
+        "--no-external",
+        action="store_true",
+        help="skip ruff/mypy even when installed",
+    )
+    p.add_argument(
+        "--races",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also run the workload under N permuted scheduler interleavings",
+    )
+    p.add_argument("--scale", choices=["xs", "s", "m", "l"], default="xs")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--machines", type=int, default=4)
+    p.set_defaults(func=cmd_analyze)
     return parser
 
 

@@ -9,6 +9,7 @@ but size them for mini graphs so that flow control actually engages.
 """
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from .errors import ConfigError
 
@@ -74,6 +75,17 @@ class EngineConfig:
         receive_priority: ``"depth"`` (paper: deeper depths and later stages
             first) or ``"fifo"`` (arrival order) — ablation knob for the
             receive-priority design choice.
+        sanitize: enable the runtime protocol sanitizer
+            (:mod:`repro.analysis.sanitizer`): assertion hooks in flow
+            control, termination detection, and the reachability index that
+            fail fast on invariant violations.  Also enabled by setting the
+            ``REPRO_SANITIZE`` environment variable to a non-empty value
+            other than ``0``.
+        schedule_seed: when set, permutes the scheduler's machine service
+            order and each machine's worker service order per round with a
+            deterministic RNG — the race-detector's interleaving knob
+            (:mod:`repro.analysis.races`).  ``None`` keeps the canonical
+            deterministic order.
         max_rounds: safety cap on scheduler rounds before declaring a
             deadlock.
         cost: the virtual-time cost model.
@@ -97,6 +109,8 @@ class EngineConfig:
     # Section 4.5 future-work option).
     index_preallocate: bool = False
     receive_priority: str = "depth"
+    sanitize: bool = False
+    schedule_seed: Optional[int] = None
     # Plan with sampled "scouting" probes instead of static selectivity
     # heuristics (the paper's cited scouting-queries planning technique).
     scouting: bool = False
@@ -132,6 +146,10 @@ class EngineConfig:
             raise ConfigError("max_rounds must be >= 1")
         if self.receive_priority not in ("depth", "fifo"):
             raise ConfigError("receive_priority must be 'depth' or 'fifo'")
+        if self.schedule_seed is not None and (
+            not isinstance(self.schedule_seed, int) or self.schedule_seed < 0
+        ):
+            raise ConfigError("schedule_seed must be None or a non-negative int")
 
     def with_(self, **overrides):
         """Return a copy of this config with the given fields replaced."""

@@ -19,7 +19,7 @@ from ..plan.compiler import compile_query
 from ..plan.explain import explain as explain_plan
 from ..runtime.scheduler import QueryExecution
 from ..runtime.trace import ExecutionTrace
-from .result import MachineSink, ResultSet, assemble_results
+from .result import MachineSink, assemble_results
 
 
 class QueryResult:

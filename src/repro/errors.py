@@ -46,3 +46,14 @@ class FlowControlDeadlock(ExecutionError):
 
 class ConfigError(ReproError):
     """Raised for invalid engine configuration values."""
+
+
+class SanitizerViolation(ReproError):
+    """Raised by the runtime sanitizer when a protocol invariant breaks.
+
+    The sanitizer (``repro.analysis.sanitizer``, enabled via
+    ``EngineConfig(sanitize=True)`` or ``REPRO_SANITIZE=1``) checks the
+    paper's flow-control, termination, and reachability-index invariants
+    at runtime; a violation always indicates a bug in protocol code, never
+    a user error.
+    """

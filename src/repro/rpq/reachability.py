@@ -49,9 +49,10 @@ class ReachabilityIndex:
     for ``POINTER_BYTES`` per local vertex of up-front memory.
     """
 
-    def __init__(self, machine_id, rpq_id, preallocate_size=None):
+    def __init__(self, machine_id, rpq_id, preallocate_size=None, sanitizer=None):
         self.machine_id = machine_id
         self.rpq_id = rpq_id
+        self._san = sanitizer
         self._first_level = {}  # {dst vertex: {source path id: depth}}
         self.preallocated = preallocate_size is not None
         self.prealloc_bytes = (
@@ -93,6 +94,8 @@ class ReachabilityIndex:
         self.hits += 1
         if old <= depth:
             return IndexOutcome.ELIMINATED
+        if self._san is not None:
+            self._san.on_index_overwrite(self, source_path_id, dst_vertex, old, depth)
         second_level[source_path_id] = depth
         self.updates += 1
         return IndexOutcome.DUPLICATED

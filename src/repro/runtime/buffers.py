@@ -27,10 +27,11 @@ def remote_target_stages(plan):
 class FlowControl:
     """Sender-side credit accounting for one machine."""
 
-    def __init__(self, machine_id, plan, config, stats):
+    def __init__(self, machine_id, plan, config, stats, sanitizer=None):
         self.machine_id = machine_id
         self.config = config
         self.stats = stats
+        self._san = sanitizer
         self._in_flight = {}
         self._capacity = {}
         self._overflow_capacity = config.rpq_overflow_per_depth
@@ -82,6 +83,8 @@ class FlowControl:
                     self.stats.overflow_grants += 1
                 if self._total_in_flight > self.stats.peak_inflight_buffers:
                     self.stats.peak_inflight_buffers = self._total_in_flight
+                if self._san is not None:
+                    self._san.on_credit_acquired(self, key, capacity)
                 return key
         return None
 
@@ -90,8 +93,16 @@ class FlowControl:
         used = self._in_flight.get(key, 0)
         if used <= 0:
             raise RuntimeError(f"credit underflow for bucket {key!r}")
-        self._in_flight[key] = used - 1
+        if used == 1 and key not in self._capacity:
+            # Lazily created overflow buckets are dropped once idle: a long
+            # unbounded-RPQ run visits ever-deeper depths, and keeping one
+            # dict entry per depth forever grows the map without bound.
+            del self._in_flight[key]
+        else:
+            self._in_flight[key] = used - 1
         self._total_in_flight -= 1
+        if self._san is not None:
+            self._san.on_credit_released(self, key)
 
     @property
     def in_flight(self):

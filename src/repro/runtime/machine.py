@@ -20,19 +20,22 @@ from .worker import Worker
 class Machine:
     """One machine of the simulated cluster."""
 
-    def __init__(self, machine_id, dgraph, plan, config, network, output_sink):
+    def __init__(
+        self, machine_id, dgraph, plan, config, network, output_sink, sanitizer=None
+    ):
         self.id = machine_id
         self.plan = plan
         self.config = config
         self.network = network
         self.partition = dgraph.partition(machine_id)
         self.output_sink = output_sink
+        self.sanitizer = sanitizer
         self.stats = MachineStats()
-        self.tracker = TerminationTracker(machine_id)
+        self.tracker = TerminationTracker(machine_id, sanitizer=sanitizer)
         self.protocol = TerminationProtocol(
-            machine_id, plan, config.num_machines, self.tracker
+            machine_id, plan, config.num_machines, self.tracker, sanitizer=sanitizer
         )
-        self.flow = FlowControl(machine_id, plan, config, self.stats)
+        self.flow = FlowControl(machine_id, plan, config, self.stats, sanitizer=sanitizer)
         self.current_round = 0
 
         self._inbox = []  # heap of (priority, Batch)
@@ -53,6 +56,7 @@ class Machine:
                     machine_id,
                     stage.rpq.rpq_id,
                     preallocate_size=local_count if config.index_preallocate else None,
+                    sanitizer=sanitizer,
                 )
                 self.indexes[stage.rpq.rpq_id] = index
                 self.controllers[stage.index] = RpqController(
@@ -84,7 +88,7 @@ class Machine:
         self._bootstrap_queue = deque(roots)
         # Each bootstrap root is a stage-0 work unit for termination counting.
         if roots:
-            self.tracker.sent[(0, 0)] += len(roots)
+            self.tracker.record_bootstrap(len(roots))
 
     def pop_bootstrap_root(self):
         """Next unexplored bootstrap root, or ``None`` when exhausted."""
@@ -221,12 +225,20 @@ class Machine:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run_round(self, round_no):
-        """Run one scheduler round; returns cost units consumed."""
+    def run_round(self, round_no, rng=None):
+        """Run one scheduler round; returns cost units consumed.
+
+        With ``rng`` set (race-detector mode, ``config.schedule_seed``) the
+        worker service order is permuted — the cooperative-scheduler
+        analogue of thread-interleaving perturbation.
+        """
         self.current_round = round_no
+        workers = self.workers
+        if rng is not None:
+            workers = rng.sample(workers, len(workers))
         budget_each = self.config.quantum / len(self.workers)
         consumed = 0.0
-        for worker in self.workers:
+        for worker in workers:
             consumed += worker.run(budget_each)
         if self._open:
             # End-of-round timeout flush: buffers that did not fill during

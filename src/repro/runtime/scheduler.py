@@ -17,8 +17,10 @@ quiescent, protocol never concluding) and raises accordingly — both would be
 bugs, and tests assert they never happen.
 """
 
+import random
 import time
 
+from ..analysis.sanitizer import sanitizer_from_config
 from ..errors import ExecutionError, FlowControlDeadlock
 from .machine import Machine
 from .network import SimulatedNetwork
@@ -47,9 +49,19 @@ class QueryExecution:
         self.network = SimulatedNetwork(
             config.num_machines, config.net_delay_rounds, plan.num_slots
         )
+        self.sanitizer = sanitizer_from_config(config)
+        self._sched_rng = (
+            random.Random(config.schedule_seed)
+            if config.schedule_seed is not None
+            else None
+        )
+        self.schedule_fingerprint = None
         self.sinks = [sink_factory(m) for m in range(config.num_machines)]
         self.machines = [
-            Machine(m, dgraph, plan, config, self.network, self.sinks[m])
+            Machine(
+                m, dgraph, plan, config, self.network, self.sinks[m],
+                sanitizer=self.sanitizer,
+            )
             for m in range(config.num_machines)
         ]
 
@@ -69,17 +81,31 @@ class QueryExecution:
                 )
             for machine in self.machines:
                 machine.deliver(self.network.drain(machine.id, round_no))
+            rng = self._sched_rng
+            service_order = (
+                self.machines
+                if rng is None
+                else rng.sample(self.machines, len(self.machines))
+            )
+            if rng is not None:
+                self.schedule_fingerprint = hash(
+                    (self.schedule_fingerprint, tuple(m.id for m in service_order))
+                )
             progress = 0.0
-            per_machine = []
-            for machine in self.machines:
-                consumed = machine.run_round(round_no)
-                per_machine.append(consumed)
+            per_machine = [0.0] * len(self.machines)
+            for machine in service_order:
+                consumed = machine.run_round(round_no, rng=rng)
+                per_machine[machine.id] = consumed
                 progress += consumed
             if self.trace is not None:
                 self.trace.record_round(round_no, per_machine)
             if round_no % STATUS_INTERVAL == 0:
                 for machine in self.machines:
                     machine.broadcast_status(round_no)
+                if self.sanitizer is not None:
+                    self.sanitizer.check_global_counts(
+                        [m.tracker for m in self.machines]
+                    )
                 done = True
                 for machine in self.machines:
                     if not concluded[machine.id]:
@@ -103,6 +129,8 @@ class QueryExecution:
                 if round_no - last_progress > STALL_LIMIT:
                     self._diagnose_stall(round_no)
 
+        if self.sanitizer is not None:
+            round_no = self._settle_and_audit(round_no)
         for machine in self.machines:
             machine.finalize_stats()
         wall = time.perf_counter() - started
@@ -112,7 +140,29 @@ class QueryExecution:
             wall,
             self.config,
             quiescent_round=quiescent_round,
+            schedule_fingerprint=self.schedule_fingerprint,
         )
+
+    def _settle_and_audit(self, round_no):
+        """Sanitizer epilogue: drain in-flight control traffic, then audit.
+
+        At the instant the termination protocol concludes, the last DONE
+        messages (credit returns) may still be in the network — that is
+        legal.  Deliver them, then check credit conservation (every
+        machine's in-flight total back to zero, totals consistent with the
+        per-bucket map) and that global sent == processed on every channel.
+        """
+        settle_limit = round_no + 16 + 4 * self.config.net_delay_rounds
+        while round_no < settle_limit:
+            kinds = self.network.pending_kinds()
+            if not kinds["batch"] and not kinds["done"]:
+                break
+            round_no += 1
+            for machine in self.machines:
+                machine.deliver(self.network.drain(machine.id, round_no))
+        self.sanitizer.on_query_end([m.flow for m in self.machines])
+        self.sanitizer.check_final_counts([m.tracker for m in self.machines])
+        return round_no
 
     # ------------------------------------------------------------------
     def ground_truth_quiescent(self):

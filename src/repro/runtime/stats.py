@@ -64,12 +64,24 @@ class MachineStats:
 class RunStats:
     """Aggregated statistics for one distributed query execution."""
 
-    def __init__(self, machine_stats, rounds, wall_seconds, config, quiescent_round=None):
+    def __init__(
+        self,
+        machine_stats,
+        rounds,
+        wall_seconds,
+        config,
+        quiescent_round=None,
+        schedule_fingerprint=None,
+    ):
         self.per_machine = machine_stats
         self.rounds = rounds
         self.quiescent_round = quiescent_round
         self.wall_seconds = wall_seconds
         self.config = config
+        # Accumulated hash of the permuted service orders when running
+        # under ``config.schedule_seed`` (race-detector mode); ``None`` for
+        # the canonical deterministic schedule.
+        self.schedule_fingerprint = schedule_fingerprint
         self.num_machines = len(machine_stats)
 
     # -- aggregation helpers ----------------------------------------------

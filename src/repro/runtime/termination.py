@@ -41,8 +41,9 @@ from .message import StatusMessage
 class TerminationTracker:
     """Per-machine work counters feeding the protocol."""
 
-    def __init__(self, machine_id):
+    def __init__(self, machine_id, sanitizer=None):
         self.machine_id = machine_id
+        self._san = sanitizer
         self.sent = Counter()  # {(stage, depth): units created}
         self.processed = Counter()  # {(stage, depth): units completed}
         self.max_depths = {}  # {rpq_id: max observed depth}
@@ -54,12 +55,22 @@ class TerminationTracker:
     def record_processed(self, stage, depth):
         self.processed[(stage, depth)] += 1
 
+    def record_bootstrap(self, count):
+        """Account ``count`` bootstrap roots as stage-0 work units.
+
+        The only bulk entry point: all counter mutations go through the
+        tracker (lint rule RPQ004) so monotonicity holds by construction.
+        """
+        self.sent[(0, 0)] += count
+
     def observe_depth(self, rpq_id, depth):
         if depth > self.max_depths.get(rpq_id, -1):
             self.max_depths[rpq_id] = depth
 
     def snapshot(self, dst_machine):
         """Build a STATUS message with the current counter state."""
+        if self._san is not None:
+            self._san.on_snapshot(self.machine_id, self.sent, self.processed)
         return StatusMessage(
             src_machine=self.machine_id,
             dst_machine=dst_machine,
@@ -184,10 +195,11 @@ class TerminationEvaluator:
 class TerminationProtocol:
     """One machine's view of the protocol: snapshots in, conclusion out."""
 
-    def __init__(self, machine_id, plan, num_machines, tracker):
+    def __init__(self, machine_id, plan, num_machines, tracker, sanitizer=None):
         self.machine_id = machine_id
         self.num_machines = num_machines
         self.tracker = tracker
+        self._san = sanitizer
         self.evaluator = TerminationEvaluator(plan)
         self.views = {}  # {machine_id: latest StatusMessage}
         self._candidate = None  # (gen_vector, sent_totals, processed_totals)
@@ -234,15 +246,28 @@ class TerminationProtocol:
         sent, processed = self.evaluator.totals(snapshots)
         signature = (dict(sent), dict(processed))
         if self._candidate is None:
-            self._candidate = (gen_vector, signature)
+            self._set_candidate(gen_vector, signature)
             return False
         old_gens, old_signature = self._candidate
-        newer = all(
-            gen > dict(old_gens).get(mid, -1) for mid, gen in gen_vector
-        )
-        if newer:
+        if self._strictly_newer(gen_vector, old_gens):
             if signature == old_signature:
-                self.concluded = True
+                self._conclude(gen_vector)
                 return True
-            self._candidate = (gen_vector, signature)
+            self._set_candidate(gen_vector, signature)
         return False
+
+    def _set_candidate(self, gen_vector, signature):
+        self._candidate = (gen_vector, signature)
+        if self._san is not None:
+            self._san.on_candidate(self.machine_id, gen_vector)
+
+    @staticmethod
+    def _strictly_newer(gen_vector, old_gens):
+        """Every machine's snapshot generation advanced past the candidate's."""
+        floor = dict(old_gens)
+        return all(gen > floor.get(mid, -1) for mid, gen in gen_vector)
+
+    def _conclude(self, gen_vector):
+        if self._san is not None:
+            self._san.on_conclude(self.machine_id, gen_vector)
+        self.concluded = True

@@ -1,0 +1,145 @@
+"""Flow-control overflow-bucket coverage (paper Section 3.3).
+
+Depths beyond ``rpq_flow_depth`` draw from a shared per-stage allowance and
+fall through to lazily-created per-depth *overflow* buckets once the shared
+bucket is exhausted.  These tests pin down the fall-through order, credit
+conservation across the overflow path, agreement between ``capacity_of``
+and the grants ``try_acquire`` actually makes, and the regression that
+idle overflow buckets are dropped from the in-flight map on release
+instead of accumulating zero-count entries forever.
+"""
+
+import pytest
+
+from repro import EngineConfig, GraphBuilder
+from repro.pgql import parse
+from repro.plan import compile_query
+from repro.runtime.buffers import SHARED, FlowControl
+from repro.runtime.stats import MachineStats
+
+#: The canonical RPQ plan's single remote target stage (see
+#: test_runtime_components.TestRemoteTargets).
+PATH_STAGE = 3
+
+CONFIG = EngineConfig(
+    num_machines=2,
+    buffers_per_machine=32,
+    rpq_flow_depth=2,
+    rpq_shared_credits=3,
+    rpq_overflow_per_depth=1,
+)
+
+
+@pytest.fixture(scope="module")
+def rpq_plan():
+    b = GraphBuilder()
+    for i in range(4):
+        b.add_vertex("N", idx=i)
+    b.add_edge(0, 1, "E")
+    g = b.build()
+    return compile_query(parse("SELECT COUNT(*) FROM MATCH (a)-/:E+/->(b)"), g)
+
+
+@pytest.fixture
+def flow(rpq_plan):
+    return FlowControl(0, rpq_plan, CONFIG, MachineStats())
+
+
+DEEP = 7  # any depth >= CONFIG.rpq_flow_depth
+
+
+class TestOverflowFallThrough:
+    def test_shared_exhaustion_falls_through_to_overflow(self, flow):
+        shared_key = (1, PATH_STAGE, SHARED)
+        for _ in range(CONFIG.rpq_shared_credits):
+            assert flow.try_acquire(1, PATH_STAGE, DEEP, True) == shared_key
+        # Shared exhausted: the next grant creates the per-depth overflow
+        # bucket lazily — it did not exist before the fall-through.
+        assert (1, PATH_STAGE, ("ovf", DEEP)) not in flow._in_flight
+        ovf = flow.try_acquire(1, PATH_STAGE, DEEP, True)
+        assert ovf == (1, PATH_STAGE, ("ovf", DEEP))
+        # One overflow credit per depth: the next acquire at this depth
+        # fails, while a different deep depth still gets its own bucket.
+        assert flow.try_acquire(1, PATH_STAGE, DEEP, True) is None
+        assert flow.try_acquire(1, PATH_STAGE, DEEP + 1, True) == (
+            1,
+            PATH_STAGE,
+            ("ovf", DEEP + 1),
+        )
+
+    def test_shallow_depths_never_use_overflow(self, flow):
+        cap = flow.capacity_of(1, PATH_STAGE, 0, True)
+        for _ in range(cap):
+            key = flow.try_acquire(1, PATH_STAGE, 0, True)
+            assert key == (1, PATH_STAGE, 0)
+        # Dedicated bucket exhausted: no overflow fall-through below D.
+        assert flow.try_acquire(1, PATH_STAGE, 0, True) is None
+
+    def test_capacity_of_agrees_with_grants(self, flow):
+        for depth in (0, 1, DEEP):
+            expected = flow.capacity_of(1, PATH_STAGE, depth, True)
+            granted = 0
+            while flow.try_acquire(1, PATH_STAGE, depth, True) is not None:
+                granted += 1
+            assert granted == expected, f"depth {depth}"
+            # Exhausting a deep depth consumes the shared allowance, so
+            # reset between depths to keep each measurement independent.
+            for key, used in list(flow._in_flight.items()):
+                for _ in range(used):
+                    flow.release(key)
+
+    def test_capacity_of_shared_includes_overflow(self, flow):
+        assert (
+            flow.capacity_of(1, PATH_STAGE, DEEP, True)
+            == CONFIG.rpq_shared_credits + CONFIG.rpq_overflow_per_depth
+        )
+
+
+class TestOverflowRelease:
+    def test_release_drops_idle_overflow_bucket(self, flow):
+        """Regression: zero-count overflow keys must leave the map."""
+        for _ in range(CONFIG.rpq_shared_credits):
+            flow.try_acquire(1, PATH_STAGE, DEEP, True)
+        ovf = flow.try_acquire(1, PATH_STAGE, DEEP, True)
+        assert flow._in_flight[ovf] == 1
+        flow.release(ovf)
+        assert ovf not in flow._in_flight
+
+    def test_configured_buckets_keep_zero_entries(self, flow):
+        """Only lazily-created buckets are dropped; configured ones stay."""
+        key = flow.try_acquire(1, PATH_STAGE, 0, True)
+        flow.release(key)
+        assert flow._in_flight[key] == 0
+        assert key in flow._capacity
+
+    def test_reacquire_after_drop(self, flow):
+        for _ in range(CONFIG.rpq_shared_credits):
+            flow.try_acquire(1, PATH_STAGE, DEEP, True)
+        ovf = flow.try_acquire(1, PATH_STAGE, DEEP, True)
+        flow.release(ovf)
+        assert flow.try_acquire(1, PATH_STAGE, DEEP, True) == ovf
+        assert flow._in_flight[ovf] == 1
+
+    def test_many_depths_do_not_accumulate_entries(self, flow):
+        """An unbounded-RPQ run visiting ever-deeper depths stays bounded."""
+        for _ in range(CONFIG.rpq_shared_credits):
+            flow.try_acquire(1, PATH_STAGE, DEEP, True)
+        before = len(flow._in_flight)
+        for depth in range(DEEP, DEEP + 50):
+            key = flow.try_acquire(1, PATH_STAGE, depth, True)
+            assert key == (1, PATH_STAGE, ("ovf", depth))
+            flow.release(key)
+        assert len(flow._in_flight) == before
+
+    def test_credits_conserved_through_overflow_cycle(self, flow):
+        keys = []
+        for depth in (0, 1, DEEP, DEEP, DEEP, DEEP, DEEP + 1):
+            key = flow.try_acquire(1, PATH_STAGE, depth, True)
+            if key is not None:
+                keys.append(key)
+        assert flow.in_flight == len(keys)
+        assert sum(flow._in_flight.values()) == flow.in_flight
+        for key in keys:
+            flow.release(key)
+        assert flow.in_flight == 0
+        assert sum(flow._in_flight.values()) == 0
