@@ -34,20 +34,38 @@ def sanitizer_enabled(config):
     return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
 
 
-def sanitizer_from_config(config):
-    """A fresh :class:`RuntimeSanitizer`, or ``None`` when disabled."""
-    return RuntimeSanitizer() if sanitizer_enabled(config) else None
+def sanitizer_from_config(config, obs=None):
+    """A fresh :class:`RuntimeSanitizer`, or ``None`` when disabled.
+
+    With ``obs`` set (an :class:`repro.obs.Recorder`), violations are also
+    recorded on the observability event bus before the exception is raised,
+    so the failure appears on the same timeline as the runtime events that
+    led to it.
+    """
+    return RuntimeSanitizer(obs=obs) if sanitizer_enabled(config) else None
 
 
 class RuntimeSanitizer:
     """Shared assertion hooks for one query execution."""
 
-    def __init__(self):
+    def __init__(self, obs=None):
         self.checks = 0  # hook invocations (observability / tests)
+        self._obs = obs
         self._last_snapshots = {}  # machine_id -> {key: count} monotone floor
         self._candidates = {}  # machine_id -> {src_machine: generation}
 
     def _fail(self, invariant, detail):
+        if self._obs is not None:
+            self._obs.cluster_instant(
+                "sanitizer.violation",
+                args={"invariant": invariant, "detail": detail},
+                cat="sanitizer",
+            )
+            self._obs.metrics.counter(
+                "repro_sanitizer_violations_total",
+                "runtime protocol-sanitizer violations",
+                ("invariant",),
+            ).labels(invariant).inc()
         raise SanitizerViolation(f"[sanitizer] {invariant}: {detail}")
 
     # ------------------------------------------------------------------

@@ -27,6 +27,10 @@ class BenchResult:
     value: object = None  # first row/scalar, for cross-engine validation
     stats: object = None  # last run's stats object
     samples: list = field(default_factory=list)
+    # Metric-histogram summaries from the last observed run (repro.obs):
+    # {metric_name: {label_key: summary_dict}}.  Empty unless the executor
+    # attached a recorder (``rpqd_executor(observe=True)``).
+    metric_summaries: dict = field(default_factory=dict)
 
 
 class BenchHarness:
@@ -55,6 +59,9 @@ class BenchHarness:
                     cell = cells[(ename, qname)]
                     cell.samples.append((result.virtual_time, wall))
                     cell.stats = result.stats
+                    recorder = getattr(result, "obs", None)
+                    if recorder is not None:
+                        cell.metric_summaries = recorder.metrics.summaries()
                     rows = result.rows
                     cell.value = rows[0] if rows else None
         for cell in cells.values():
@@ -63,13 +70,20 @@ class BenchHarness:
         return cells
 
 
-def rpqd_executor(graph, machines, quantum=400.0, **overrides):
-    """Executor factory for an RPQd configuration."""
+def rpqd_executor(graph, machines, quantum=400.0, observe=False, **overrides):
+    """Executor factory for an RPQd configuration.
+
+    With ``observe=True`` every run attaches a fresh
+    :class:`repro.obs.Recorder`; the harness copies its histogram summaries
+    (batch sizes, flow-control waits, buffer occupancy, ...) onto
+    ``BenchResult.metric_summaries``.  Virtual time is unaffected — the
+    recorder only adds wall-clock overhead.
+    """
     config = EngineConfig(num_machines=machines, quantum=quantum, **overrides)
     engine = RPQdEngine(graph, config)
 
     def execute(query_text):
-        return engine.execute(query_text)
+        return engine.execute(query_text, observe=True if observe else None)
 
     return execute
 

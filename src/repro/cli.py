@@ -7,10 +7,19 @@ Subcommands:
   engine (``rpqd``, ``bft``, ``recursive``);
 * ``explain`` — print the distributed plan for a query;
 * ``workload`` — run the paper's nine benchmark queries on a generated
-  graph and print a latency table;
+  graph and print a latency table (``--json`` for machine-readable rows,
+  ``--timeline`` for per-query ASCII utilization timelines);
+* ``trace`` — validate and pretty-print a trace file produced by
+  ``query --trace-out`` (Chrome trace JSON or JSONL event log);
 * ``analyze`` — static analysis: the repo-specific protocol lint rules
   (RPQ001..RPQ006) plus ruff/mypy when installed, and optionally the
   schedule race detector (``--races N``).
+
+Observability (``repro.obs``): ``query --trace-out FILE`` records a
+span-level execution trace (``.jsonl`` extension selects the JSONL event
+log, anything else the Perfetto-loadable Chrome trace JSON) and
+``--metrics-out FILE`` writes the metrics registry in Prometheus text
+format.  ``--timeline`` prints the per-round ASCII utilization timeline.
 """
 
 import argparse
@@ -74,7 +83,17 @@ def cmd_query(args):
     query = args.query
     if query == "-":
         query = sys.stdin.read()
-    result = engine.execute(query)
+    observe = bool(args.trace_out or args.metrics_out)
+    if (observe or args.timeline) and args.engine != "rpqd":
+        print(
+            "error: --trace-out/--metrics-out/--timeline require --engine rpqd",
+            file=sys.stderr,
+        )
+        return 2
+    if args.engine == "rpqd":
+        result = engine.execute(query, trace=args.timeline, observe=observe or None)
+    else:
+        result = engine.execute(query)
     if args.format == "csv":
         sys.stdout.write(result.result_set.to_csv())
     elif args.format == "json":
@@ -89,7 +108,30 @@ def cmd_query(args):
         )
         if hasattr(result.stats, "summary"):
             print(f"-- {result.stats.summary()}", file=sys.stderr)
+    if args.timeline and getattr(result, "trace", None) is not None:
+        print(result.trace.render_timeline(), file=sys.stderr)
+    if observe:
+        _export_observed(result, engine, args.trace_out, args.metrics_out)
     return 0
+
+
+def _export_observed(result, engine, trace_out, metrics_out):
+    """Write the recorder's trace/metrics files for a ``query`` run."""
+    from .obs import write_chrome_trace, write_jsonl, write_prometheus
+
+    recorder = result.obs
+    if trace_out:
+        if trace_out.endswith(".jsonl"):
+            write_jsonl(recorder, trace_out)
+        else:
+            write_chrome_trace(
+                recorder, trace_out,
+                workers_per_machine=engine.config.workers_per_machine,
+            )
+        print(f"-- trace written to {trace_out}", file=sys.stderr)
+    if metrics_out:
+        write_prometheus(recorder, metrics_out)
+        print(f"-- metrics written to {metrics_out}", file=sys.stderr)
 
 
 def cmd_explain(args):
@@ -157,21 +199,59 @@ def cmd_workload(args):
         "recursive": RecursiveEngine(graph),
     }
     rows = []
+    records = []
+    timelines = []
     for name, build in BENCHMARK_QUERIES.items():
         query = build(info)
         row = [name]
-        for engine in engines.values():
-            row.append(round(engine.execute(query).virtual_time, 1))
+        record = {"query": name}
+        for ename, engine in engines.items():
+            if ename == "rpqd" and args.timeline:
+                result = engine.execute(query, trace=True)
+                timelines.append((name, result.trace))
+            else:
+                result = engine.execute(query)
+            latency = round(result.virtual_time, 1)
+            row.append(latency)
+            record[ename] = latency
         rows.append(row)
-    print(
-        format_table(
-            ["query"] + list(engines),
-            rows,
-            title=f"paper workload at scale {args.scale!r} "
-            f"(virtual latency, rpqd on {args.machines} machines)",
+        records.append(record)
+    if args.json:
+        print(json.dumps({
+            "scale": args.scale,
+            "seed": args.seed,
+            "machines": args.machines,
+            "engines": list(engines),
+            "latency_unit": "virtual rounds",
+            "results": records,
+        }, indent=2))
+    else:
+        print(
+            format_table(
+                ["query"] + list(engines),
+                rows,
+                title=f"paper workload at scale {args.scale!r} "
+                f"(virtual latency, rpqd on {args.machines} machines)",
+            )
         )
-    )
+    # With --json the timelines go to stderr so stdout stays parseable.
+    out = sys.stderr if args.json else sys.stdout
+    for name, trace in timelines:
+        print(f"\n{name} timeline (rpqd, {args.machines} machines):", file=out)
+        print(trace.render_timeline(), file=out)
     return 0
+
+
+def cmd_trace(args):
+    from .obs import load_trace_file, summarize_trace, validate_chrome_trace
+
+    try:
+        trace = load_trace_file(args.file)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(summarize_trace(trace))
+    return 1 if validate_chrome_trace(trace) else 0
 
 
 def build_parser():
@@ -195,6 +275,22 @@ def build_parser():
         "--format", choices=["tsv", "csv", "json"], default="tsv",
         help="output format (default: tsv)",
     )
+    p.add_argument(
+        "--timeline",
+        action="store_true",
+        help="print the per-round ASCII utilization timeline (rpqd only)",
+    )
+    p.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="record a span trace: .jsonl writes the JSONL event log, "
+        "anything else the Perfetto-loadable Chrome trace JSON (rpqd only)",
+    )
+    p.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write runtime metrics in Prometheus text format (rpqd only)",
+    )
     _add_engine_args(p)
     p.set_defaults(func=cmd_query)
 
@@ -208,7 +304,23 @@ def build_parser():
     p.add_argument("--scale", choices=["xs", "s", "m", "l"], default="s")
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--machines", type=int, default=4)
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of the text table",
+    )
+    p.add_argument(
+        "--timeline",
+        action="store_true",
+        help="print the rpqd ASCII utilization timeline per query",
+    )
     p.set_defaults(func=cmd_workload)
+
+    p = sub.add_parser(
+        "trace",
+        help="validate + pretty-print a trace file from query --trace-out",
+    )
+    p.add_argument("file", help="Chrome trace JSON or JSONL event log")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
         "analyze",

@@ -75,6 +75,14 @@ class EngineConfig:
         receive_priority: ``"depth"`` (paper: deeper depths and later stages
             first) or ``"fifo"`` (arrival order) — ablation knob for the
             receive-priority design choice.
+        observe: attach the observability recorder
+            (:mod:`repro.obs`): a span-based distributed tracer (DFT job
+            spans, batch send/receive with causal links, RPQ control
+            decisions, flow-control blocks, termination progress) plus a
+            metrics registry (buffer occupancy, flow waits, index probe
+            outcomes, batch size/bytes histograms).  Disabled, every hook
+            is a single ``obs is not None`` branch — the virtual-time
+            results are bit-identical either way.
         sanitize: enable the runtime protocol sanitizer
             (:mod:`repro.analysis.sanitizer`): assertion hooks in flow
             control, termination detection, and the reachability index that
@@ -109,6 +117,7 @@ class EngineConfig:
     # Section 4.5 future-work option).
     index_preallocate: bool = False
     receive_priority: str = "depth"
+    observe: bool = False
     sanitize: bool = False
     schedule_seed: Optional[int] = None
     # Plan with sampled "scouting" probes instead of static selectivity

@@ -13,6 +13,7 @@ Typical use::
 
 from ..config import EngineConfig
 from ..graph.distributed import DistributedGraph
+from ..obs import Recorder
 from ..pgql.ast import Query
 from ..pgql.parser import parse
 from ..plan.compiler import compile_query
@@ -25,11 +26,14 @@ from .result import MachineSink, assemble_results
 class QueryResult:
     """A merged result set plus the run's statistics and plan."""
 
-    def __init__(self, result_set, stats, plan, trace=None):
+    def __init__(self, result_set, stats, plan, trace=None, obs=None):
         self.result_set = result_set
         self.stats = stats
         self.plan = plan
         self.trace = trace
+        # The observability recorder (repro.obs) when the run was observed:
+        # span events, metrics registry, exporter input.  None otherwise.
+        self.obs = obs
 
     # Convenience pass-throughs.
     def __iter__(self):
@@ -96,7 +100,7 @@ class RPQdEngine:
     def explain(self, query):
         return explain_plan(self.compile(query))
 
-    def execute(self, query, config=None, trace=False):
+    def execute(self, query, config=None, trace=False, observe=None):
         """Execute and return a :class:`QueryResult`.
 
         ``config`` overrides the engine's configuration for this run (used
@@ -105,6 +109,12 @@ class RPQdEngine:
         machine count triggers a re-partition here.  With ``trace=True``
         (or an :class:`~repro.runtime.trace.ExecutionTrace` instance) the
         result carries a per-round activity timeline in ``result.trace``.
+
+        ``observe`` attaches the structured tracer/metrics recorder
+        (:mod:`repro.obs`): ``True`` creates a fresh
+        :class:`~repro.obs.Recorder`, an instance is used as-is, and
+        ``None`` defers to ``config.observe``.  The recorder is returned on
+        ``result.obs`` for export (Perfetto / JSONL / Prometheus).
         """
         run_config = config or self.config
         dgraph = self.dgraph
@@ -116,9 +126,18 @@ class RPQdEngine:
             trace = ExecutionTrace()
         elif trace is False:
             trace = None
+        if observe is None:
+            observe = run_config.observe
+        if observe is True:
+            recorder = Recorder(run_config)
+        elif observe:
+            recorder = observe  # caller-supplied Recorder instance
+        else:
+            recorder = None
         execution = QueryExecution(
-            dgraph, plan, run_config, sink_factory=lambda m: sinks[m], trace=trace
+            dgraph, plan, run_config, sink_factory=lambda m: sinks[m],
+            trace=trace, recorder=recorder,
         )
         stats = execution.run()
         result_set = assemble_results(plan, sinks)
-        return QueryResult(result_set, stats, plan, trace=trace)
+        return QueryResult(result_set, stats, plan, trace=trace, obs=recorder)

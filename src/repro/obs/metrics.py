@@ -1,0 +1,242 @@
+"""Metrics registry: counters, gauges, and histograms with labels.
+
+A :class:`MetricsRegistry` is the numeric half of the observability layer
+(:mod:`repro.obs`): instrumentation points record buffer-pool occupancy,
+flow-control wait durations, reachability-index probe outcomes, batch
+sizes/bytes, and termination-protocol progress into it, and exporters turn
+it into Prometheus text exposition format or plain dicts for benchmark
+reports.
+
+The design follows the Prometheus client-library data model (metric name +
+help text + label names, one child time series per label-value tuple) but
+is deliberately tiny: everything is synchronous, in-process, and keyed by
+plain tuples, because the instrumented "cluster" is a cooperative
+simulation inside one interpreter.
+"""
+
+import math
+
+#: Default histogram bucket upper bounds: powers of two, wide enough for
+#: batch sizes, modelled bytes, and round counts at the simulated scales.
+DEFAULT_BUCKETS = tuple(float(2 ** i) for i in range(17))  # 1 .. 65536
+
+
+class _Child:
+    """One time series: a metric narrowed to a concrete label-value tuple."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount=1.0):
+        self.value += amount
+
+    def dec(self, amount=1.0):
+        self.value -= amount
+
+    def set(self, value):
+        self.value = value
+
+
+class _HistogramChild:
+    """Bucketed observations plus exact count/sum/min/max."""
+
+    __slots__ = ("buckets", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, buckets):
+        self.buckets = buckets
+        self.bucket_counts = [0] * (len(buckets) + 1)  # final = +Inf
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value):
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def quantile(self, q):
+        """Approximate quantile from the bucket histogram (upper bound)."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, n in enumerate(self.bucket_counts):
+            seen += n
+            if seen >= target:
+                if i < len(self.buckets):
+                    return self.buckets[i]
+                return self.max
+        return self.max
+
+    def summary(self):
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "p50": 0.0, "p95": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+        }
+
+
+class Metric:
+    """A named family of children, one per label-value tuple."""
+
+    kind = "untyped"
+
+    def __init__(self, name, help_text, labelnames=()):
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self._children = {}
+
+    def _make_child(self):
+        return _Child()
+
+    def labels(self, *labelvalues):
+        if len(labelvalues) != len(self.labelnames):
+            raise ValueError(
+                f"metric {self.name} takes labels {self.labelnames}, "
+                f"got {labelvalues!r}"
+            )
+        key = tuple(str(v) for v in labelvalues)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def items(self):
+        """Sorted ``(label_values, child)`` pairs."""
+        return sorted(self._children.items())
+
+
+class CounterMetric(Metric):
+    kind = "counter"
+
+
+class GaugeMetric(Metric):
+    kind = "gauge"
+
+
+class HistogramMetric(Metric):
+    kind = "histogram"
+
+    def __init__(self, name, help_text, labelnames=(), buckets=DEFAULT_BUCKETS):
+        super().__init__(name, help_text, labelnames)
+        self.buckets = tuple(sorted(buckets))
+
+    def _make_child(self):
+        return _HistogramChild(self.buckets)
+
+
+class MetricsRegistry:
+    """All metrics of one observed query execution."""
+
+    def __init__(self):
+        self._metrics = {}
+
+    def _register(self, cls, name, help_text, labelnames, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help_text, labelnames, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls) or metric.labelnames != tuple(labelnames):
+            raise ValueError(f"metric {name} re-registered with a different shape")
+        return metric
+
+    def counter(self, name, help_text="", labelnames=()):
+        return self._register(CounterMetric, name, help_text, labelnames)
+
+    def gauge(self, name, help_text="", labelnames=()):
+        return self._register(GaugeMetric, name, help_text, labelnames)
+
+    def histogram(self, name, help_text="", labelnames=(), buckets=DEFAULT_BUCKETS):
+        return self._register(
+            HistogramMetric, name, help_text, labelnames, buckets=buckets
+        )
+
+    def get(self, name):
+        return self._metrics.get(name)
+
+    def __iter__(self):
+        return iter(sorted(self._metrics.values(), key=lambda m: m.name))
+
+    # -- export ----------------------------------------------------------
+    def prometheus_text(self):
+        """Render the registry in Prometheus text exposition format."""
+        lines = []
+        for metric in self:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for labelvalues, child in metric.items():
+                base_labels = list(zip(metric.labelnames, labelvalues))
+                if metric.kind == "histogram":
+                    cumulative = 0
+                    for bound, n in zip(metric.buckets, child.bucket_counts):
+                        cumulative += n
+                        labels = _format_labels(base_labels + [("le", _fmt_bound(bound))])
+                        lines.append(f"{metric.name}_bucket{labels} {cumulative}")
+                    cumulative += child.bucket_counts[-1]
+                    labels = _format_labels(base_labels + [("le", "+Inf")])
+                    lines.append(f"{metric.name}_bucket{labels} {cumulative}")
+                    labels = _format_labels(base_labels)
+                    lines.append(f"{metric.name}_sum{labels} {_fmt_value(child.sum)}")
+                    lines.append(f"{metric.name}_count{labels} {child.count}")
+                else:
+                    labels = _format_labels(base_labels)
+                    lines.append(f"{metric.name}{labels} {_fmt_value(child.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def summaries(self):
+        """{metric name: summary} for histograms, {name: {labels: value}}
+        for counters/gauges — the shape benchmark rows attach."""
+        out = {}
+        for metric in self:
+            if metric.kind == "histogram":
+                entries = {
+                    ",".join(lv) or "_": child.summary()
+                    for lv, child in metric.items()
+                }
+            else:
+                entries = {
+                    ",".join(lv) or "_": child.value for lv, child in metric.items()
+                }
+            out[metric.name] = entries
+        return out
+
+
+def _fmt_bound(bound):
+    if bound == int(bound):
+        return str(int(bound))
+    return repr(bound)
+
+
+def _fmt_value(value):
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(pairs):
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _escape(value):
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")

@@ -40,11 +40,22 @@ ENTRY_COST = 0.2
 class RpqController:
     """Executes control-stage entries for one RPQ segment on one machine."""
 
-    def __init__(self, spec, index, stats, tracker, use_index=True, cost=None):
+    def __init__(self, spec, index, stats, tracker, use_index=True, cost=None,
+                 machine_id=0, stage_index=-1, obs=None):
         self.spec = spec
         self.index = index  # this machine's ReachabilityIndex shard (or None)
         self.stats = stats
         self.tracker = tracker
+        self.machine_id = machine_id
+        self.stage_index = stage_index
+        self.obs = obs
+        self._entries = None
+        if obs is not None:
+            self._entries = obs.metrics.counter(
+                "repro_control_entries_total",
+                "RPQ control-stage entries per (segment, depth, outcome)",
+                ("rpq", "depth", "outcome"),
+            )
         self.use_index = use_index and index is not None
         insert = cost.index_insert if cost is not None else 1.4
         if self.use_index and index.preallocated:
@@ -85,6 +96,8 @@ class RpqController:
 
         can_deepen = spec.max_hops is None or depth < spec.max_hops
         if depth < spec.min_hops:
+            if self.obs is not None:
+                self._record_entry(depth, "below_min")
             return ([ACTION_PATH] if can_deepen else []), ENTRY_COST
 
         cost = ENTRY_COST
@@ -94,9 +107,13 @@ class RpqController:
             )
             if outcome is IndexOutcome.ELIMINATED:
                 self.stats.record_eliminated(spec.rpq_id, depth)
+                if self.obs is not None:
+                    self._record_entry(depth, "eliminated")
                 return [], cost + self._hit_cost
             if outcome is IndexOutcome.DUPLICATED:
                 self.stats.record_duplicated(spec.rpq_id, depth)
+                if self.obs is not None:
+                    self._record_entry(depth, "duplicated")
                 actions = [ACTION_PATH] if can_deepen else []
                 return actions, cost + self._hit_cost
             cost += self._insert_cost
@@ -104,4 +121,23 @@ class RpqController:
         actions = [ACTION_EXIT]
         if can_deepen:
             actions.append(ACTION_PATH)
+        if self.obs is not None:
+            self._record_entry(depth, "match")
         return actions, cost
+
+    def _record_entry(self, depth, outcome):
+        """Trace one control-stage decision (observability path only).
+
+        Every entry emits exactly one ``rpq.control`` instant, so per-depth
+        event counts reconcile with ``stats.depth_table()`` exactly:
+        total events = matches; ``eliminated``/``duplicated`` outcomes =
+        those columns.
+        """
+        self.obs.instant(
+            self.machine_id,
+            "rpq.control",
+            args={"rpq": self.spec.rpq_id, "depth": depth,
+                  "stage": self.stage_index, "outcome": outcome},
+            cat="rpq",
+        )
+        self._entries.labels(self.spec.rpq_id, depth, outcome).inc()

@@ -21,7 +21,8 @@ class Machine:
     """One machine of the simulated cluster."""
 
     def __init__(
-        self, machine_id, dgraph, plan, config, network, output_sink, sanitizer=None
+        self, machine_id, dgraph, plan, config, network, output_sink,
+        sanitizer=None, obs=None,
     ):
         self.id = machine_id
         self.plan = plan
@@ -30,18 +31,23 @@ class Machine:
         self.partition = dgraph.partition(machine_id)
         self.output_sink = output_sink
         self.sanitizer = sanitizer
+        self.obs = obs
         self.stats = MachineStats()
         self.tracker = TerminationTracker(machine_id, sanitizer=sanitizer)
         self.protocol = TerminationProtocol(
-            machine_id, plan, config.num_machines, self.tracker, sanitizer=sanitizer
+            machine_id, plan, config.num_machines, self.tracker,
+            sanitizer=sanitizer, obs=obs,
         )
-        self.flow = FlowControl(machine_id, plan, config, self.stats, sanitizer=sanitizer)
+        self.flow = FlowControl(
+            machine_id, plan, config, self.stats, sanitizer=sanitizer, obs=obs
+        )
         self.current_round = 0
 
         self._inbox = []  # heap of (priority, Batch)
         self._absorbed = 0  # batches absorbed into workers, not yet completed
         self._open = {}  # (dst, stage, depth) -> partially filled Batch
         self._blocked_flush_reported = set()
+        self._blocked_since = {}  # key -> round the block started (obs only)
         self._path_stage_set = set()
         for spec in plan.rpq_specs():
             self._path_stage_set.update(spec.path_stages)
@@ -57,6 +63,7 @@ class Machine:
                     stage.rpq.rpq_id,
                     preallocate_size=local_count if config.index_preallocate else None,
                     sanitizer=sanitizer,
+                    obs=obs,
                 )
                 self.indexes[stage.rpq.rpq_id] = index
                 self.controllers[stage.index] = RpqController(
@@ -66,6 +73,9 @@ class Machine:
                     self.tracker,
                     use_index=config.use_reachability_index,
                     cost=config.cost,
+                    machine_id=machine_id,
+                    stage_index=stage.index,
+                    obs=obs,
                 )
 
         # Workers and bootstrap work assignment.
@@ -143,12 +153,24 @@ class Machine:
         self._absorbed += 1
         if self._absorbed > self.stats.peak_absorbed_batches:
             self.stats.peak_absorbed_batches = self._absorbed
+        if self.obs is not None:
+            self.obs.metrics.gauge(
+                "repro_absorbed_batches",
+                "batches absorbed into worker contexts, not yet explored",
+                ("machine",),
+            ).labels(self.id).set(self._absorbed)
         return batch
 
     def complete_batch(self, batch):
         """Account a fully-processed batch (termination protocol unit)."""
         self.tracker.record_processed(batch.target_stage, batch.depth)
         self._absorbed -= 1
+        if self.obs is not None:
+            self.obs.metrics.gauge(
+                "repro_absorbed_batches",
+                "batches absorbed into worker contexts, not yet explored",
+                ("machine",),
+            ).labels(self.id).set(self._absorbed)
 
     # ------------------------------------------------------------------
     # Outgoing batches under flow control
@@ -167,6 +189,8 @@ class Machine:
                 if key not in self._blocked_flush_reported:
                     self.stats.flow_control_blocks += 1
                     self._blocked_flush_reported.add(key)
+                    if self.obs is not None:
+                        self._record_block(key)
                 return False
             batch = None
         if batch is None:
@@ -204,11 +228,65 @@ class Machine:
         batch.credit_key = credit
         del self._open[key]
         self._blocked_flush_reported.discard(key)
+        if self.obs is not None:
+            self._record_send(key, batch)
         self.network.send(batch, self.current_round)
         self.stats.batches_sent += 1
         self.stats.contexts_sent += len(batch)
         self.stats.bytes_sent += batch.modelled_bytes(self.plan.num_slots)
         return True
+
+    # ------------------------------------------------------------------
+    # Observability hooks (only reached when ``self.obs`` is attached)
+    # ------------------------------------------------------------------
+    def _record_block(self, key):
+        """A flush found its credit bucket empty: start a wait episode."""
+        obs = self.obs
+        dst, stage_idx, depth = key
+        self._blocked_since.setdefault(key, self.current_round)
+        obs.instant(
+            self.id, "flow.block",
+            args={"dst": dst, "stage": stage_idx, "depth": depth},
+            cat="flow",
+        )
+        obs.metrics.counter(
+            "repro_flow_blocks_total",
+            "flow-control block episodes (send found its bucket empty)",
+            ("machine", "stage"),
+        ).labels(self.id, stage_idx).inc()
+
+    def _record_send(self, key, batch):
+        """A batch leaves this machine: span link, size/byte histograms."""
+        obs = self.obs
+        dst, stage_idx, depth = key
+        flow_id = obs.next_flow_id()
+        batch.flow_id = flow_id
+        obs.flow_start(self.id, flow_id)
+        n = len(batch)
+        size = batch.modelled_bytes(self.plan.num_slots)
+        args = {"dst": dst, "stage": stage_idx, "depth": depth,
+                "contexts": n, "bytes": size}
+        blocked_since = self._blocked_since.pop(key, None)
+        if blocked_since is not None:
+            wait = self.current_round - blocked_since
+            args["wait_rounds"] = wait
+            obs.metrics.histogram(
+                "repro_flow_wait_rounds",
+                "rounds a blocked batch waited for a flow-control credit",
+                ("machine",),
+            ).labels(self.id).observe(wait)
+        obs.instant(self.id, "batch.send", args=args, cat="msg")
+        obs.metrics.histogram(
+            "repro_batch_contexts", "contexts per sent batch", ("machine",)
+        ).labels(self.id).observe(n)
+        obs.metrics.histogram(
+            "repro_batch_bytes", "modelled bytes per sent batch", ("machine",)
+        ).labels(self.id).observe(size)
+        obs.metrics.counter(
+            "repro_batches_sent_total",
+            "batches shipped to other machines",
+            ("machine", "stage"),
+        ).labels(self.id, stage_idx).inc()
 
     def flush_partials(self):
         """Flush all non-empty open batches (called when workers idle)."""
@@ -220,6 +298,8 @@ class Machine:
                 elif key not in self._blocked_flush_reported:
                     self.stats.flow_control_blocks += 1
                     self._blocked_flush_reported.add(key)
+                    if self.obs is not None:
+                        self._record_block(key)
         return flushed
 
     # ------------------------------------------------------------------
@@ -268,6 +348,12 @@ class Machine:
             if dst != self.id:
                 self.network.send(self.tracker.snapshot(dst), round_no)
                 self.stats.status_messages += 1
+        if self.obs is not None:
+            self.obs.metrics.counter(
+                "repro_status_broadcasts_total",
+                "termination-protocol STATUS broadcast rounds",
+                ("machine",),
+            ).labels(self.id).inc()
 
     def check_termination(self):
         return self.protocol.check()
@@ -288,3 +374,18 @@ class Machine:
             self.stats.index_updates += index.updates
             self.stats.index_entries += index.entries
             self.stats.index_prealloc_bytes += index.prealloc_bytes
+        if self.obs is not None:
+            gauge = self.obs.metrics.gauge(
+                "repro_machine_stat",
+                "final per-machine counter snapshot (one series per stat)",
+                ("machine", "stat"),
+            )
+            for stat in (
+                "batches_sent", "contexts_sent", "bytes_sent",
+                "flow_control_blocks", "overflow_grants",
+                "peak_inflight_buffers", "peak_absorbed_batches",
+                "edges_traversed", "outputs", "bootstrapped",
+                "done_messages", "status_messages", "index_entries",
+                "busy_rounds", "idle_rounds", "blocked_rounds",
+            ):
+                gauge.labels(self.id, stat).set(getattr(self.stats, stat))

@@ -32,6 +32,10 @@ class Batch:
     credit_key: object = None  # flow-control bucket that backed this send
     contexts: list = field(default_factory=list)  # [(vertex, ctx_list)]
     seq: int = field(default_factory=lambda: next(_seq))
+    # Observability: the sender's flow id, carried with the serialized
+    # payload so the receive span links causally to the send span across
+    # machine tracks (:mod:`repro.obs`).  ``None`` when tracing is off.
+    flow_id: object = None
 
     def add(self, vertex, ctx):
         """Serialize one context into the batch (defensive copy)."""

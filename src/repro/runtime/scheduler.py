@@ -35,7 +35,7 @@ STALL_LIMIT = 400
 class QueryExecution:
     """Executes one compiled plan over a distributed graph."""
 
-    def __init__(self, dgraph, plan, config, sink_factory, trace=None):
+    def __init__(self, dgraph, plan, config, sink_factory, trace=None, recorder=None):
         if dgraph.num_machines != config.num_machines:
             raise ExecutionError(
                 f"graph partitioned for {dgraph.num_machines} machines but "
@@ -46,10 +46,13 @@ class QueryExecution:
         self.trace = trace
         if trace is not None:
             trace.configure(config.num_machines, config.quantum)
+        self.obs = recorder
+        if recorder is not None:
+            recorder.configure(config.num_machines, config.quantum)
         self.network = SimulatedNetwork(
             config.num_machines, config.net_delay_rounds, plan.num_slots
         )
-        self.sanitizer = sanitizer_from_config(config)
+        self.sanitizer = sanitizer_from_config(config, obs=recorder)
         self._sched_rng = (
             random.Random(config.schedule_seed)
             if config.schedule_seed is not None
@@ -60,7 +63,7 @@ class QueryExecution:
         self.machines = [
             Machine(
                 m, dgraph, plan, config, self.network, self.sinks[m],
-                sanitizer=self.sanitizer,
+                sanitizer=self.sanitizer, obs=recorder,
             )
             for m in range(config.num_machines)
         ]
@@ -72,6 +75,9 @@ class QueryExecution:
         last_progress = 0
         quiescent_round = None
         concluded = [False] * len(self.machines)
+        obs = self.obs
+        if obs is not None:
+            obs.cluster_instant("query.start", args={"stages": len(self.plan.stages)})
         while True:
             round_no += 1
             if round_no > self.config.max_rounds:
@@ -79,6 +85,8 @@ class QueryExecution:
                     f"exceeded max_rounds={self.config.max_rounds} "
                     "(runaway query or configuration too tight)"
                 )
+            if obs is not None:
+                obs.begin_round(round_no)
             for machine in self.machines:
                 machine.deliver(self.network.drain(machine.id, round_no))
             rng = self._sched_rng
@@ -99,6 +107,8 @@ class QueryExecution:
                 progress += consumed
             if self.trace is not None:
                 self.trace.record_round(round_no, per_machine)
+            if obs is not None:
+                obs.record_round(round_no, per_machine)
             if round_no % STATUS_INTERVAL == 0:
                 for machine in self.machines:
                     machine.broadcast_status(round_no)
@@ -115,6 +125,12 @@ class QueryExecution:
                     if self.trace is not None:
                         self.trace.record_event(
                             round_no, "termination protocol concluded"
+                        )
+                    if obs is not None:
+                        obs.cluster_instant(
+                            "termination.concluded",
+                            args={"round": round_no},
+                            round_no=round_no,
                         )
                     break
             if progress > 0.0:
@@ -133,6 +149,12 @@ class QueryExecution:
             round_no = self._settle_and_audit(round_no)
         for machine in self.machines:
             machine.finalize_stats()
+        if obs is not None:
+            obs.cluster_instant(
+                "query.end",
+                args={"rounds": round_no, "quiescent_round": quiescent_round},
+                round_no=round_no,
+            )
         wall = time.perf_counter() - started
         return RunStats(
             [m.stats for m in self.machines],
@@ -173,6 +195,10 @@ class QueryExecution:
         return all(m.is_quiescent() for m in self.machines)
 
     def _diagnose_stall(self, round_no):
+        if self.obs is not None:
+            self.obs.cluster_instant(
+                "scheduler.stall", args={"round": round_no}, round_no=round_no
+            )
         if self.ground_truth_quiescent():
             raise ExecutionError(
                 f"termination protocol failed to conclude by round {round_no} "

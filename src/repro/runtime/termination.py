@@ -195,11 +195,12 @@ class TerminationEvaluator:
 class TerminationProtocol:
     """One machine's view of the protocol: snapshots in, conclusion out."""
 
-    def __init__(self, machine_id, plan, num_machines, tracker, sanitizer=None):
+    def __init__(self, machine_id, plan, num_machines, tracker, sanitizer=None, obs=None):
         self.machine_id = machine_id
         self.num_machines = num_machines
         self.tracker = tracker
         self._san = sanitizer
+        self._obs = obs
         self.evaluator = TerminationEvaluator(plan)
         self.views = {}  # {machine_id: latest StatusMessage}
         self._candidate = None  # (gen_vector, sent_totals, processed_totals)
@@ -237,6 +238,13 @@ class TerminationProtocol:
             return False
         terminated, all_done = self.evaluator.evaluate(snapshots)
         self.last_terminated_keys = terminated
+        if self._obs is not None:
+            self._obs.metrics.gauge(
+                "repro_term_terminated_channels",
+                "(stage, depth) channels this machine currently evaluates "
+                "as globally terminated",
+                ("machine",),
+            ).labels(self.machine_id).set(len(terminated))
         if not all_done:
             self._candidate = None
             return False
@@ -258,6 +266,13 @@ class TerminationProtocol:
 
     def _set_candidate(self, gen_vector, signature):
         self._candidate = (gen_vector, signature)
+        if self._obs is not None:
+            self._obs.instant(self.machine_id, "term.candidate", cat="protocol")
+            self._obs.metrics.counter(
+                "repro_term_candidates_total",
+                "termination-confirmation candidates formed",
+                ("machine",),
+            ).labels(self.machine_id).inc()
         if self._san is not None:
             self._san.on_candidate(self.machine_id, gen_vector)
 
@@ -268,6 +283,8 @@ class TerminationProtocol:
         return all(gen > floor.get(mid, -1) for mid, gen in gen_vector)
 
     def _conclude(self, gen_vector):
+        if self._obs is not None:
+            self._obs.instant(self.machine_id, "term.conclude", cat="protocol")
         if self._san is not None:
             self._san.on_conclude(self.machine_id, gen_vector)
         self.concluded = True

@@ -92,6 +92,8 @@ class Worker:
         self.jobs = []
         self.rpid_alloc = RpidAllocator(machine.id, worker_id)
         self.blocked = False
+        self.obs = machine.obs
+        self._track = worker_id + 1  # obs thread id (0 is the control track)
 
     # ------------------------------------------------------------------
     # Scheduling entry point
@@ -99,11 +101,23 @@ class Worker:
     def run(self, budget):
         """Execute up to ``budget`` cost units; returns units consumed."""
         consumed = 0.0
+        obs = self.obs
+        if obs is None:
+            while consumed < budget:
+                cost = self._step()
+                if cost <= 0.0:
+                    break
+                consumed += cost
+            return consumed
+        # Observed variant: advance the machine's virtual clock per step so
+        # span timestamps are exact within the round.
+        machine_id = self.machine.id
         while consumed < budget:
             cost = self._step()
             if cost <= 0.0:
                 break
             consumed += cost
+            obs.advance(machine_id, cost)
         return consumed
 
     @property
@@ -150,15 +164,28 @@ class Worker:
                 return self.cost.receive_context
             self.machine.complete_batch(batch)
             self.jobs.pop()
+            if self.obs is not None:
+                self.obs.end_span(self.machine.id, self._track)
             return STEP_COST
         # Root job finished its subtree.
         self.machine.tracker.record_processed(0, 0)
         self.jobs.pop()
+        if self.obs is not None:
+            self.obs.end_span(self.machine.id, self._track)
         return STEP_COST
 
     def _start_batch_job(self):
         batch = self.machine.pop_batch()
         self.jobs.append(Job("batch", batch=batch))
+        if self.obs is not None:
+            # The flow finish draws Perfetto's causal arrow from the
+            # sender's batch.send to this receive span.
+            self.obs.begin_span(
+                self.machine.id, self._track, "dft.batch",
+                args={"src": batch.src_machine, "stage": batch.target_stage,
+                      "depth": batch.depth, "contexts": len(batch)},
+                flow_in=batch.flow_id,
+            )
 
     def _bootstrap_step(self):
         stats = self.machine.stats
@@ -175,6 +202,10 @@ class Worker:
         job = Job("root", ctx=[None] * self.plan.num_slots)
         job.stack.append(Frame(0, vertex))
         self.jobs.append(job)
+        if self.obs is not None:
+            self.obs.begin_span(
+                self.machine.id, self._track, "dft.root", args={"vertex": vertex}
+            )
         return self.cost.bootstrap
 
     # ------------------------------------------------------------------
