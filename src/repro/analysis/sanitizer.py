@@ -53,6 +53,7 @@ class RuntimeSanitizer:
         self._obs = obs
         self._last_snapshots = {}  # machine_id -> {key: count} monotone floor
         self._candidates = {}  # machine_id -> {src_machine: generation}
+        self._delivered_frames = set()  # (src, dst, tseq) accepted upstream
 
     def _fail(self, invariant, detail):
         if self._obs is not None:
@@ -200,6 +201,43 @@ class RuntimeSanitizer:
                     f"candidate's {candidate.get(src, -1)} (stale-snapshot "
                     "race)",
                 )
+
+    # ------------------------------------------------------------------
+    # Reliable transport (repro.faults / docs/faults.md)
+    # ------------------------------------------------------------------
+    def on_transport_deliver(self, src, dst, tseq):
+        """Exactly-once: a sequenced frame is handed up at most once.
+
+        The network's own dedup set is the mechanism; this is an
+        independent ledger of everything it passed upstream, so a dedup
+        bug (e.g. the set keyed wrongly) fails fast instead of silently
+        double-counting protocol work.
+        """
+        self.checks += 1
+        key = (src, dst, tseq)
+        if key in self._delivered_frames:
+            self._fail(
+                "exactly-once delivery",
+                f"frame (src={src}, dst={dst}, tseq={tseq}) handed to the "
+                "machine twice (duplicate escaped transport dedup)",
+            )
+        self._delivered_frames.add(key)
+
+    def check_transport_settled(self, network):
+        """After settling, no data frame may remain undelivered.
+
+        Only meaningful for complete runs — a permanently-down machine
+        legitimately strands frames addressed to it (partial results).
+        """
+        self.checks += 1
+        undelivered = network.undelivered_work()
+        if undelivered:
+            self._fail(
+                "transport settled at query end",
+                f"{undelivered} Batch/Done frame(s) still undelivered "
+                "after the settle phase (retransmission failed to recover "
+                "them)",
+            )
 
     # ------------------------------------------------------------------
     # Reachability index (Section 3.5)

@@ -13,7 +13,15 @@ Subcommands:
   ``query --trace-out`` (Chrome trace JSON or JSONL event log);
 * ``analyze`` — static analysis: the repo-specific protocol lint rules
   (RPQ001..RPQ006) plus ruff/mypy when installed, and optionally the
-  schedule race detector (``--races N``).
+  schedule race detector (``--races N``);
+* ``chaos`` — fault-injection sweep (:mod:`repro.faults`): run benchmark
+  queries under seeded lossy fault plans with reliable transport and
+  verify every run reproduces the fault-free result set and depth table.
+
+Fault injection: ``query --faults PLAN.json`` attaches a
+:class:`repro.faults.FaultPlan` (reliable transport switches on
+automatically; ``--unreliable`` disables it for
+chaos-without-the-safety-net experiments).
 
 Observability (``repro.obs``): ``query --trace-out FILE`` records a
 span-level execution trace (``.jsonl`` extension selects the JSONL event
@@ -55,9 +63,25 @@ def _make_engine(args, graph):
         return BftEngine(graph)
     if args.engine == "recursive":
         return RecursiveEngine(graph)
+    overrides = {}
+    faults_file = getattr(args, "faults", None)
+    if faults_file:
+        from .faults import FaultPlan
+
+        overrides["faults"] = FaultPlan.from_file(faults_file)
+    if getattr(args, "unreliable", False):
+        overrides["reliable_transport"] = False
+        plan = overrides.get("faults")
+        if plan is not None and plan.drop_prob > 0.0:
+            print(
+                "warning: --unreliable with a lossy fault plan gives no "
+                "delivery guarantee; results may be wrong or hang",
+                file=sys.stderr,
+            )
     config = EngineConfig(
         num_machines=args.machines,
         use_reachability_index=not args.no_index,
+        **overrides,
     )
     return RPQdEngine(graph, config)
 
@@ -102,6 +126,13 @@ def cmd_query(args):
         print("\t".join(result.columns))
         for row in result:
             print("\t".join("NULL" if v is None else str(v) for v in row))
+    if getattr(result, "complete", True) is False:
+        down = getattr(result.stats, "down_machines", ())
+        print(
+            f"-- WARNING: PARTIAL RESULTS (machine(s) {list(down)} stayed "
+            "down); rows are a lower bound",
+            file=sys.stderr,
+        )
     if args.stats:
         print(
             f"-- virtual latency: {result.virtual_time} rounds", file=sys.stderr
@@ -242,6 +273,81 @@ def cmd_workload(args):
     return 0
 
 
+def cmd_chaos(args):
+    from .datagen import BENCHMARK_QUERIES, mini_ldbc
+    from .faults import run_chaos_sweep, seeded_sweep
+
+    graph, info = mini_ldbc(args.scale, seed=args.seed)
+    names = [n.strip() for n in args.queries.split(",") if n.strip()]
+    unknown = [n for n in names if n not in BENCHMARK_QUERIES]
+    if unknown:
+        print(
+            f"error: unknown benchmark queries {unknown} "
+            f"(available: {', '.join(BENCHMARK_QUERIES)})",
+            file=sys.stderr,
+        )
+        return 2
+    queries = [BENCHMARK_QUERIES[n](info) for n in names]
+    plans = seeded_sweep(
+        args.plans,
+        base_seed=args.base_seed,
+        num_machines=args.machines,
+        drop_prob=args.drop,
+        dup_prob=args.dup,
+        delay_prob=args.delay,
+        reorder_prob=args.reorder,
+    )
+    config = EngineConfig(num_machines=args.machines, sanitize=args.sanitize)
+    reports = run_chaos_sweep(graph, queries, plans, config=config)
+    records = []
+    for name, report in zip(names, reports):
+        records.append(
+            {
+                "query": name,
+                "plans": len(report.runs),
+                "faults_injected": report.total_faults,
+                "baseline_makespan": report.baseline_makespan,
+                "makespan_inflation": [
+                    {"seed": seed, "ratio": round(ratio, 3)}
+                    for seed, ratio in report.makespan_inflation()
+                ],
+                "retransmits": sum(r.retransmits for r in report.runs),
+                "ok": report.ok,
+                "mismatches": report.mismatches,
+            }
+        )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "scale": args.scale,
+                    "seed": args.seed,
+                    "machines": args.machines,
+                    "plans": args.plans,
+                    "base_seed": args.base_seed,
+                    "results": records,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for name, report in zip(names, reports):
+            print(f"-- chaos {name}: {report.summary()}")
+    if any(not r.ok for r in reports):
+        print(
+            "-- chaos sweep: RESULT DIVERGENCE under faults "
+            "(reliable transport failed its exactly-once contract)",
+            file=sys.stderr,
+        )
+        return 1
+    total = sum(r.total_faults for r in reports)
+    print(
+        f"-- chaos sweep: ok ({len(reports)} queries x {args.plans} plans, "
+        f"{total} faults injected, results identical to fault-free)"
+    )
+    return 0
+
+
 def cmd_trace(args):
     from .obs import load_trace_file, summarize_trace, validate_chrome_trace
 
@@ -291,6 +397,18 @@ def build_parser():
         metavar="FILE",
         help="write runtime metrics in Prometheus text format (rpqd only)",
     )
+    p.add_argument(
+        "--faults",
+        metavar="PLAN.json",
+        help="inject faults from a repro.faults.FaultPlan JSON file "
+        "(rpqd only; enables reliable transport automatically)",
+    )
+    p.add_argument(
+        "--unreliable",
+        action="store_true",
+        help="disable the reliable transport layer even with --faults "
+        "(chaos without the safety net)",
+    )
     _add_engine_args(p)
     p.set_defaults(func=cmd_query)
 
@@ -321,6 +439,40 @@ def build_parser():
     )
     p.add_argument("file", help="Chrome trace JSON or JSONL event log")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep: seeded lossy plans must reproduce "
+        "the fault-free results under reliable transport",
+    )
+    p.add_argument("--scale", choices=["xs", "s", "m", "l"], default="xs")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--machines", type=int, default=4)
+    p.add_argument(
+        "--plans", type=int, default=5, metavar="N",
+        help="number of seeded fault plans to sweep (default: 5)",
+    )
+    p.add_argument(
+        "--base-seed", type=int, default=1,
+        help="seed of the first fault plan (plan i uses base+i)",
+    )
+    p.add_argument(
+        "--queries", default="Q09,Q03",
+        help="comma-separated benchmark query names (default: Q09,Q03)",
+    )
+    p.add_argument("--drop", type=float, default=0.05, help="drop probability")
+    p.add_argument("--dup", type=float, default=0.05, help="duplication probability")
+    p.add_argument("--delay", type=float, default=0.1, help="extra-delay probability")
+    p.add_argument("--reorder", type=float, default=0.1, help="reorder probability")
+    p.add_argument(
+        "--sanitize", action="store_true",
+        help="run every execution under the protocol sanitizer",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of the text summary",
+    )
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
         "analyze",

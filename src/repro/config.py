@@ -94,6 +94,27 @@ class EngineConfig:
             deterministic RNG — the race-detector's interleaving knob
             (:mod:`repro.analysis.races`).  ``None`` keeps the canonical
             deterministic order.
+        faults: a :class:`repro.faults.FaultPlan` injecting seeded message
+            loss / duplication / reordering / delay and machine stalls or
+            crashes into the execution (:mod:`repro.faults`).  ``None``
+            (default) keeps the interconnect perfect; every hook is a
+            single ``is not None`` branch so fault-free runs are
+            bit-identical to a build without the subsystem.
+        reliable_transport: force the ack/retransmit transport layer on
+            (``True``) or off (``False``).  ``None`` (default) enables it
+            exactly when a fault plan is attached — the paper's perfect
+            interconnect needs no ARQ, a lossy one does.
+        retransmit_timeout_rounds: base retransmission timeout for the
+            reliable transport, in rounds.  ``None`` derives a generous
+            default from ``net_delay_rounds`` (no spurious retransmits on
+            a healthy link).
+        status_interval: rounds between STATUS broadcasts (termination
+            protocol heartbeat; previously the hard-coded scheduler
+            constant ``STATUS_INTERVAL``).
+        stall_limit: rounds of zero progress tolerated before the
+            scheduler diagnoses a stall (previously hard-coded
+            ``STALL_LIMIT``).  Fault runs with long machine outages
+            legitimately need more headroom.
         max_rounds: safety cap on scheduler rounds before declaring a
             deadlock.
         cost: the virtual-time cost model.
@@ -120,6 +141,12 @@ class EngineConfig:
     observe: bool = False
     sanitize: bool = False
     schedule_seed: Optional[int] = None
+    # Fault injection + reliable transport (:mod:`repro.faults`).
+    faults: Optional[object] = None
+    reliable_transport: Optional[bool] = None
+    retransmit_timeout_rounds: Optional[int] = None
+    status_interval: int = 4
+    stall_limit: int = 400
     # Plan with sampled "scouting" probes instead of static selectivity
     # heuristics (the paper's cited scouting-queries planning technique).
     scouting: bool = False
@@ -159,6 +186,43 @@ class EngineConfig:
             not isinstance(self.schedule_seed, int) or self.schedule_seed < 0
         ):
             raise ConfigError("schedule_seed must be None or a non-negative int")
+        if self.status_interval < 1:
+            raise ConfigError("status_interval must be >= 1")
+        if self.stall_limit < 2 * self.status_interval:
+            # The stall diagnosis must allow at least a couple of
+            # heartbeat cycles before declaring the protocol stuck.
+            raise ConfigError(
+                "stall_limit must be >= 2 * status_interval "
+                f"(got {self.stall_limit} with status_interval="
+                f"{self.status_interval})"
+            )
+        if self.retransmit_timeout_rounds is not None and (
+            not isinstance(self.retransmit_timeout_rounds, int)
+            or self.retransmit_timeout_rounds < 1
+        ):
+            raise ConfigError(
+                "retransmit_timeout_rounds must be None or a positive int"
+            )
+        if self.reliable_transport not in (None, True, False):
+            raise ConfigError("reliable_transport must be None, True, or False")
+        if self.faults is not None:
+            from .faults import FaultPlan  # deferred: faults imports errors only
+
+            if not isinstance(self.faults, FaultPlan):
+                raise ConfigError(
+                    "faults must be a repro.faults.FaultPlan or None"
+                )
+            self.faults.validate_for(self.num_machines)
+            # reliable_transport=False with a lossy plan is permitted —
+            # chaos without the safety net is a legitimate experiment —
+            # but then nothing guarantees delivery; the CLI warns.
+
+    @property
+    def transport_enabled(self):
+        """Reliable transport resolution: explicit flag, else auto-on with faults."""
+        if self.reliable_transport is not None:
+            return self.reliable_transport
+        return self.faults is not None
 
     def with_(self, **overrides):
         """Return a copy of this config with the given fields replaced."""

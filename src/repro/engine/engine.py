@@ -60,6 +60,11 @@ class QueryResult:
         return self.result_set.to_dicts()
 
     @property
+    def complete(self):
+        """False when a permanently-down machine made the rows a lower bound."""
+        return self.result_set.complete
+
+    @property
     def virtual_time(self):
         """Virtual makespan in scheduler rounds (the latency metric)."""
         return self.stats.virtual_time
@@ -139,5 +144,5 @@ class RPQdEngine:
             trace=trace, recorder=recorder,
         )
         stats = execution.run()
-        result_set = assemble_results(plan, sinks)
+        result_set = assemble_results(plan, sinks, complete=not execution.partial)
         return QueryResult(result_set, stats, plan, trace=trace, obs=recorder)

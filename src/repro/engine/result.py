@@ -128,11 +128,18 @@ class MachineSink:
 
 
 class ResultSet:
-    """Final, merged query result."""
+    """Final, merged query result.
 
-    def __init__(self, columns, rows):
+    ``complete`` is ``False`` when a permanently-failed machine forced the
+    scheduler to give up on part of the work (:mod:`repro.faults`): the
+    rows are whatever the surviving machines produced and must be treated
+    as a lower bound, not the answer.
+    """
+
+    def __init__(self, columns, rows, complete=True):
         self.columns = columns
         self._rows = rows
+        self.complete = complete
 
     def __iter__(self):
         return iter(self._rows)
@@ -188,7 +195,8 @@ class ResultSet:
         return json.dumps(self.to_dicts())
 
     def __repr__(self):
-        return f"ResultSet(columns={self.columns}, rows={len(self._rows)})"
+        suffix = "" if self.complete else ", complete=False"
+        return f"ResultSet(columns={self.columns}, rows={len(self._rows)}{suffix})"
 
 
 def _sort_key(value):
@@ -198,7 +206,7 @@ def _sort_key(value):
     return (0 if isinstance(value, (int, float, bool)) else 1, type(value).__name__, value)
 
 
-def assemble_results(plan, sinks):
+def assemble_results(plan, sinks, complete=True):
     """Merge per-machine sinks into the final :class:`ResultSet`."""
     columns = [p.name for p in plan.projections]
     if plan.has_aggregates:
@@ -265,4 +273,4 @@ def assemble_results(plan, sinks):
         rows = rows[offset:]
     if plan.limit is not None:
         rows = rows[: plan.limit]
-    return ResultSet(columns, rows)
+    return ResultSet(columns, rows, complete=complete)

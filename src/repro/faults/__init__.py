@@ -1,0 +1,27 @@
+"""Deterministic fault injection for the simulated cluster (``repro.faults``).
+
+The paper assumes the messaging layer "handles any faults"; this package
+removes that assumption so the protocol can be exercised — and proven
+correct — under message loss, duplication, reordering, extra delay,
+machine stalls, and transient crashes.  Faults come from a seeded
+:class:`FaultPlan` (pure data, JSON round-trippable), applied by a
+:class:`FaultInjector` during one execution, and survived by the reliable
+transport layer in :mod:`repro.runtime.network`.  See ``docs/faults.md``.
+"""
+
+from .injector import FaultInjector, message_kind
+from .plan import ALL_KINDS, FaultPlan, MachineCrash, MachineStall, seeded_sweep
+from .sweep import ChaosReport, ChaosRun, run_chaos_sweep
+
+__all__ = [
+    "ALL_KINDS",
+    "ChaosReport",
+    "ChaosRun",
+    "FaultInjector",
+    "FaultPlan",
+    "MachineCrash",
+    "MachineStall",
+    "message_kind",
+    "run_chaos_sweep",
+    "seeded_sweep",
+]

@@ -1,0 +1,272 @@
+"""Deterministic, seeded fault plans for the simulated cluster.
+
+A :class:`FaultPlan` is a *description* of the chaos to inject into one
+query execution: message-level faults (drop, duplication, reordering via
+delay jitter, extra delay) drawn from a seeded RNG, plus scheduled
+machine-level faults (stalls/pauses and transient or permanent crashes).
+The plan is pure data — JSON-serializable, hashable-by-value, and
+reusable across runs — while the :class:`~repro.faults.injector.
+FaultInjector` holds the per-execution RNG state.  The same
+``(plan, graph, query, config)`` tuple always produces the same faults at
+the same virtual instants, so every chaos run is exactly reproducible.
+
+Attach a plan with ``EngineConfig(faults=plan)``; with
+``EngineConfig.reliable_transport`` left at ``None`` the reliable
+transport layer (:mod:`repro.runtime.network`) switches on automatically
+so the protocol survives the injected loss.
+"""
+
+import json
+import random
+from dataclasses import asdict, dataclass, fields
+
+from ..errors import ConfigError
+
+#: Message kinds fault probabilities apply to by default (``ack`` is the
+#: transport layer's own acknowledgement traffic).
+ALL_KINDS = ("batch", "done", "status", "ack")
+
+
+@dataclass(frozen=True)
+class MachineStall:
+    """Machine ``machine`` does nothing for ``duration`` rounds.
+
+    A stalled machine performs no work and receives no messages (they wait
+    in the network); its state is intact — the fail-pause analogue of a GC
+    pause, an OS scheduling hiccup, or a slow NUMA node.
+    """
+
+    machine: int
+    start_round: int
+    duration: int
+
+    def validate(self):
+        if self.machine < 0:
+            raise ConfigError("MachineStall.machine must be >= 0")
+        if self.start_round < 1:
+            raise ConfigError("MachineStall.start_round must be >= 1")
+        if self.duration < 1:
+            raise ConfigError("MachineStall.duration must be >= 1")
+
+
+@dataclass(frozen=True)
+class MachineCrash:
+    """Machine ``machine`` crashes at ``round``, losing in-flight state.
+
+    All messages sitting in the crashed machine's network receive queue are
+    lost at the crash instant (they were in its NIC/RX buffers); durable
+    machine state (partition, index, counters, absorbed work) survives —
+    the classic fail-recover model.  With ``recover_round=None`` the
+    machine stays down forever and the scheduler returns partial results
+    (``ResultSet.complete = False``); otherwise it resumes at
+    ``recover_round`` and, under reliable transport, retransmissions
+    recover every lost message.
+    """
+
+    machine: int
+    round: int
+    recover_round: object = None  # Optional[int]; None = stays down
+
+    def validate(self):
+        if self.machine < 0:
+            raise ConfigError("MachineCrash.machine must be >= 0")
+        if self.round < 1:
+            raise ConfigError("MachineCrash.round must be >= 1")
+        if self.recover_round is not None and self.recover_round <= self.round:
+            raise ConfigError(
+                "MachineCrash.recover_round must be > round (or None)"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic chaos schedule for one execution.
+
+    Attributes:
+        seed: RNG seed for all probabilistic decisions.
+        drop_prob: probability a transmitted message copy is lost.
+        dup_prob: probability a transmitted message is duplicated (the
+            extra copy travels independently, one round later).
+        delay_prob / max_delay_rounds: probability a message is held back,
+            and the maximum extra rounds (uniform in ``[1, max]``).
+        reorder_prob / reorder_window: probability a message gets delivery
+            jitter of ``[0, window]`` rounds — enough for later messages to
+            overtake it (reordering is delay by another name in a
+            store-and-forward network).
+        kinds: message kinds the probabilistic faults apply to
+            (subset of ``("batch", "done", "status", "ack")``).
+        stalls / crashes: scheduled machine-level faults.
+    """
+
+    seed: int = 0
+    drop_prob: float = 0.0
+    dup_prob: float = 0.0
+    delay_prob: float = 0.0
+    max_delay_rounds: int = 4
+    reorder_prob: float = 0.0
+    reorder_window: int = 2
+    kinds: tuple = ALL_KINDS
+    stalls: tuple = ()
+    crashes: tuple = ()
+
+    def __post_init__(self):
+        for name in ("drop_prob", "dup_prob", "delay_prob", "reorder_prob"):
+            value = getattr(self, name)
+            if not (isinstance(value, (int, float)) and 0.0 <= value <= 1.0):
+                raise ConfigError(f"FaultPlan.{name} must be in [0, 1]")
+        if self.max_delay_rounds < 1:
+            raise ConfigError("FaultPlan.max_delay_rounds must be >= 1")
+        if self.reorder_window < 0:
+            raise ConfigError("FaultPlan.reorder_window must be >= 0")
+        unknown = set(self.kinds) - set(ALL_KINDS)
+        if unknown:
+            raise ConfigError(f"FaultPlan.kinds has unknown kinds {sorted(unknown)!r}")
+        # Normalize list inputs (e.g. straight from JSON) to tuples so the
+        # plan stays hashable-by-value and safely shareable.
+        object.__setattr__(self, "kinds", tuple(self.kinds))
+        object.__setattr__(self, "stalls", tuple(self.stalls))
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        for event in self.stalls + self.crashes:
+            event.validate()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def has_message_faults(self):
+        return any(
+            p > 0.0
+            for p in (self.drop_prob, self.dup_prob, self.delay_prob, self.reorder_prob)
+        )
+
+    @property
+    def has_machine_faults(self):
+        return bool(self.stalls or self.crashes)
+
+    def permanent_crashes(self):
+        """Crashes that never recover (trigger the partial-results path)."""
+        return tuple(c for c in self.crashes if c.recover_round is None)
+
+    def validate_for(self, num_machines):
+        """Check machine ids against an actual cluster size."""
+        for event in self.stalls + self.crashes:
+            if event.machine >= num_machines:
+                raise ConfigError(
+                    f"fault targets machine {event.machine} but the cluster "
+                    f"has {num_machines} machines"
+                )
+        alive = num_machines - len(
+            {c.machine for c in self.permanent_crashes()}
+        )
+        if alive < 1:
+            raise ConfigError("FaultPlan permanently crashes every machine")
+
+    # ------------------------------------------------------------------
+    # JSON (CLI: ``repro query --faults PLAN.json``)
+    # ------------------------------------------------------------------
+    def to_dict(self):
+        data = asdict(self)
+        data["kinds"] = list(self.kinds)
+        data["stalls"] = [asdict(s) for s in self.stalls]
+        data["crashes"] = [asdict(c) for c in self.crashes]
+        return data
+
+    def to_json(self, indent=2):
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def to_file(self, path):
+        with open(path, "w") as fh:
+            fh.write(self.to_json() + "\n")
+
+    @classmethod
+    def from_dict(cls, data):
+        if not isinstance(data, dict):
+            raise ConfigError("fault plan must be a JSON object")
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(f"fault plan has unknown keys {sorted(unknown)!r}")
+        kwargs = dict(data)
+        kwargs["stalls"] = tuple(
+            MachineStall(**s) for s in data.get("stalls", ())
+        )
+        kwargs["crashes"] = tuple(
+            MachineCrash(**c) for c in data.get("crashes", ())
+        )
+        if "kinds" in kwargs:
+            kwargs["kinds"] = tuple(kwargs["kinds"])
+        return cls(**kwargs)
+
+    @classmethod
+    def from_json(cls, text):
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"fault plan is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_file(cls, path):
+        with open(path) as fh:
+            return cls.from_json(fh.read())
+
+
+def seeded_sweep(
+    num_plans,
+    base_seed=1,
+    num_machines=4,
+    horizon=120,
+    drop_prob=0.05,
+    dup_prob=0.05,
+    delay_prob=0.1,
+    max_delay_rounds=4,
+    reorder_prob=0.1,
+    reorder_window=2,
+    stalls=True,
+    crashes=True,
+):
+    """``num_plans`` deterministic fault plans for a chaos sweep.
+
+    Plan ``i`` uses seed ``base_seed + i`` for both the message-fault RNG
+    and the derivation of its machine-fault schedule: when enabled, each
+    plan stalls one machine for a random window and transiently crashes
+    another within the first ``horizon`` rounds (never machine 0's crash
+    and stall at once, so at least one fault-free machine remains).
+    """
+    plans = []
+    for i in range(num_plans):
+        seed = base_seed + i
+        rng = random.Random(seed * 7919 + 13)
+        plan_stalls = ()
+        plan_crashes = ()
+        if stalls:
+            plan_stalls = (
+                MachineStall(
+                    machine=rng.randrange(num_machines),
+                    start_round=rng.randint(2, max(2, horizon // 2)),
+                    duration=rng.randint(3, 20),
+                ),
+            )
+        if crashes:
+            crash_round = rng.randint(2, max(2, horizon // 2))
+            plan_crashes = (
+                MachineCrash(
+                    machine=rng.randrange(num_machines),
+                    round=crash_round,
+                    recover_round=crash_round + rng.randint(5, 30),
+                ),
+            )
+        plans.append(
+            FaultPlan(
+                seed=seed,
+                drop_prob=drop_prob,
+                dup_prob=dup_prob,
+                delay_prob=delay_prob,
+                max_delay_rounds=max_delay_rounds,
+                reorder_prob=reorder_prob,
+                reorder_window=reorder_window,
+                stalls=plan_stalls,
+                crashes=plan_crashes,
+            )
+        )
+    return plans

@@ -1,0 +1,130 @@
+"""Chaos sweep — result invariance across seeded fault plans.
+
+The reliability claim the transport layer makes is crisp: with reliable
+delivery on, *any* fault plan whose machine crashes eventually recover must
+yield exactly the fault-free result set — and the same per-depth work
+accounting (``stats.depth_table()``), because exactly-once delivery means
+the protocol does the same logical work regardless of the chaos underneath.
+This module turns that claim into an oracle, mirroring the schedule race
+sweep in :mod:`repro.analysis.races`: run the workload fault-free, then
+re-run under each seeded :class:`~repro.faults.plan.FaultPlan` and diff.
+
+Reports also carry virtual makespans so the bench harness can chart
+makespan inflation (chaos cost) alongside correctness.
+"""
+
+from dataclasses import dataclass, field
+
+
+def _canonical_rows(result):
+    """Sorted, hashable view of a result set (order-insensitive compare)."""
+    return tuple(sorted(tuple(row) for row in result.rows))
+
+
+@dataclass
+class ChaosRun:
+    """One query execution under one fault plan."""
+
+    seed: int
+    rows_match: bool
+    depths_match: bool
+    complete: bool
+    makespan: float
+    rounds: int
+    fault_counts: dict = field(default_factory=dict)
+    retransmits: int = 0
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one query swept across fault plans."""
+
+    query: str
+    baseline_rows: tuple
+    baseline_depths: tuple
+    baseline_makespan: float = 0.0
+    runs: list = field(default_factory=list)
+    mismatches: list = field(default_factory=list)  # [(seed, what)]
+
+    @property
+    def ok(self):
+        return not self.mismatches
+
+    @property
+    def total_faults(self):
+        return sum(sum(r.fault_counts.values()) for r in self.runs)
+
+    def makespan_inflation(self):
+        """Per-plan makespan ratio vs. fault-free: ``[(seed, ratio)]``."""
+        if not self.baseline_makespan:
+            return [(r.seed, 1.0) for r in self.runs]
+        return [(r.seed, r.makespan / self.baseline_makespan) for r in self.runs]
+
+    def summary(self):
+        status = "ok" if self.ok else f"{len(self.mismatches)} MISMATCHES"
+        ratios = [ratio for _, ratio in self.makespan_inflation()]
+        worst = max(ratios) if ratios else 1.0
+        return (
+            f"{self.query!r}: {len(self.runs)} fault plans, "
+            f"{self.total_faults} faults injected, "
+            f"worst makespan x{worst:.2f}, {status}"
+        )
+
+
+def _depth_key(stats):
+    return tuple(stats.depth_table())
+
+
+def run_chaos_sweep(graph, queries, plans, config=None, compare_depths=True):
+    """Sweep ``queries`` over ``plans``; returns ``[ChaosReport]``.
+
+    The baseline run is fault-free with reliable transport *on* (so the
+    transport layer itself, not just the fault plan, is held fixed across
+    the comparison).  Every plan run must reproduce the baseline rows, be
+    flagged complete, and — when ``compare_depths`` — match the fault-free
+    ``depth_table()`` exactly.
+    """
+    from ..config import EngineConfig
+    from ..engine import RPQdEngine
+
+    config = config or EngineConfig()
+    baseline_config = config.with_(faults=None, reliable_transport=True)
+    engine = RPQdEngine(graph, baseline_config)
+    reports = []
+    for query in queries:
+        base = engine.execute(query)
+        baseline = _canonical_rows(base)
+        base_depths = _depth_key(base.stats)
+        report = ChaosReport(
+            query=query,
+            baseline_rows=baseline,
+            baseline_depths=base_depths,
+            baseline_makespan=base.stats.virtual_time,
+        )
+        for plan in plans:
+            result = engine.execute(query, config=config.with_(faults=plan))
+            rows = _canonical_rows(result)
+            depths = _depth_key(result.stats)
+            rows_ok = rows == baseline
+            depths_ok = (not compare_depths) or depths == base_depths
+            transport = result.stats.transport or {}
+            report.runs.append(
+                ChaosRun(
+                    seed=plan.seed,
+                    rows_match=rows_ok,
+                    depths_match=depths_ok,
+                    complete=result.complete,
+                    makespan=result.stats.virtual_time,
+                    rounds=result.stats.rounds,
+                    fault_counts=dict(result.stats.fault_events or {}),
+                    retransmits=transport.get("retransmits", 0),
+                )
+            )
+            if not rows_ok:
+                report.mismatches.append((plan.seed, "rows"))
+            if not depths_ok:
+                report.mismatches.append((plan.seed, "depth_table"))
+            if not result.complete:
+                report.mismatches.append((plan.seed, "incomplete"))
+        reports.append(report)
+    return reports

@@ -231,6 +231,19 @@ def summarize_trace(trace):
             durations.items(), key=lambda kv: -kv[1][0]
         ):
             lines.append(f"  {total:>12.1f}  {name} x{count}")
+    fault_counts = Counter()
+    retx = 0
+    for event in events:
+        name = event.get("name") or ""
+        if name.startswith("fault."):
+            fault_counts[name[len("fault."):]] += 1
+        elif name == "net.retx":
+            retx += 1
+    if fault_counts or retx:
+        lines.append("faults injected (repro.faults):")
+        for kind, n in sorted(fault_counts.items()):
+            lines.append(f"  {kind}: {n}")
+        lines.append(f"  transport retransmissions: {retx}")
     depth_counts = Counter()
     for event in events:
         if event.get("name") == "rpq.control":

@@ -387,5 +387,6 @@ class Machine:
                 "edges_traversed", "outputs", "bootstrapped",
                 "done_messages", "status_messages", "index_entries",
                 "busy_rounds", "idle_rounds", "blocked_rounds",
+                "stalled_rounds",
             ):
                 gauge.labels(self.id, stat).set(getattr(self.stats, stat))

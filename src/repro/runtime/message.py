@@ -19,6 +19,10 @@ HEADER_BYTES = 64
 SLOT_BYTES = 8
 #: Modelled size of a control message (DONE / STATUS), bytes.
 CONTROL_BYTES = 96
+#: Modelled size of a transport-layer acknowledgement, bytes.  ACKs are
+#: header-only frames (src, dst, acked sequence number) and never carry
+#: protocol payload, so they are cheaper than control messages.
+ACK_BYTES = 40
 
 
 @dataclass
@@ -36,6 +40,9 @@ class Batch:
     # payload so the receive span links causally to the send span across
     # machine tracks (:mod:`repro.obs`).  ``None`` when tracing is off.
     flow_id: object = None
+    # Reliable-transport sequence number, per (src, dst) link; assigned by
+    # the network when reliable delivery is on, ``None`` otherwise.
+    tseq: object = None
 
     def add(self, vertex, ctx):
         """Serialize one context into the batch (defensive copy)."""
@@ -61,6 +68,7 @@ class DoneMessage:
     dst_machine: int  # machine that sent the batch (credit owner)
     credit_key: object = None
     seq: int = field(default_factory=lambda: next(_seq))
+    tseq: object = None  # reliable-transport sequence number
 
 
 @dataclass
@@ -74,3 +82,20 @@ class StatusMessage:
     processed: dict = field(default_factory=dict)
     max_depths: dict = field(default_factory=dict)  # {rpq_id: max observed}
     seq: int = field(default_factory=lambda: next(_seq))
+    tseq: object = None  # reliable-transport sequence number
+
+
+@dataclass
+class AckMessage:
+    """Transport-layer acknowledgement: ``acked_tseq`` arrived at ``src``.
+
+    ACKs exist only inside :class:`~repro.runtime.network.SimulatedNetwork`
+    — the receiving network endpoint consumes them to retire retransmit
+    state; they are never handed to :meth:`Machine.deliver`.
+    """
+
+    src_machine: int  # machine acknowledging receipt
+    dst_machine: int  # original sender (owner of the retransmit timer)
+    acked_tseq: int = 0
+    seq: int = field(default_factory=lambda: next(_seq))
+    tseq: object = None  # ACKs themselves are never reliably delivered

@@ -2,23 +2,61 @@
 
 Messages sent in round ``r`` become deliverable in round
 ``r + net_delay_rounds``.  Delivery order within a round is deterministic
-(by send sequence).  The network is reliable — the paper's messaging layer
-"handles any faults" — but test hooks can inject extra per-message delay or
-duplicate deliveries to exercise protocol robustness.
+(by send sequence).  By default the network is reliable — the paper's
+messaging layer "handles any faults" — but two layers below that
+assumption live here too:
+
+* **Fault injection** (``faults=``): a :class:`~repro.faults.injector.
+  FaultInjector` gets a verdict on every transmitted copy — drop it,
+  delay it, duplicate it — turning the perfect interconnect into a lossy
+  one.  The legacy test hooks ``extra_delay_fn`` / ``duplicate_fn`` are
+  kept as thin deterministic front-ends to the same transmit path.
+
+* **Reliable transport** (``reliable=True``): a classic ARQ layer that
+  restores exactly-once delivery over the lossy link.  Every data message
+  gets a per-``(src, dst)`` sequence number (``tseq``); the receiving
+  endpoint acks each frame and suppresses duplicates by ``(src, dst,
+  tseq)``; the sending endpoint retransmits unacked frames on a virtual-
+  clock timeout with exponential backoff.  ACKs are transport-internal —
+  they never reach :meth:`Machine.deliver` — and are themselves sent
+  unreliably (a lost ACK just causes a retransmit, which the receiver
+  dedups and re-acks).
+
+Accounting counts every *transmitted copy* (first sends, hook and fault
+duplicates, retransmissions) in ``total_messages`` / ``total_bytes``;
+transport ACK traffic is tallied separately (``acks_sent`` /
+``transport_bytes``) so data-plane byte totals keep their meaning.
 """
 
 import heapq
 
-from .message import Batch, CONTROL_BYTES, DoneMessage, StatusMessage
+from .message import ACK_BYTES, AckMessage, Batch, CONTROL_BYTES, DoneMessage, StatusMessage
+
+#: Retransmit backoff cap, in rounds of virtual time.
+MAX_RTO_ROUNDS = 64
 
 
 class SimulatedNetwork:
     """Deterministic store-and-forward network between machines."""
 
-    def __init__(self, num_machines, net_delay_rounds=1, num_slots=0):
+    def __init__(
+        self,
+        num_machines,
+        net_delay_rounds=1,
+        num_slots=0,
+        reliable=False,
+        faults=None,
+        retransmit_timeout_rounds=None,
+        obs=None,
+        sanitizer=None,
+    ):
         self.num_machines = num_machines
         self.delay = net_delay_rounds
         self.num_slots = num_slots
+        self.reliable = reliable
+        self.faults = faults
+        self.obs = obs
+        self.sanitizer = sanitizer
         self._queues = [[] for _ in range(num_machines)]  # heaps per dst
         self._counter = 0
         self.total_messages = 0
@@ -27,17 +65,83 @@ class SimulatedNetwork:
         # (duplicate delivery one round later).
         self.extra_delay_fn = None
         self.duplicate_fn = None
+        # --- reliable-transport state -----------------------------------
+        # Base retransmission timeout: generous vs. the round-trip of
+        # delay-out + delay-back so a healthy link never spuriously
+        # retransmits; overridable for fault runs with heavy extra delay.
+        if retransmit_timeout_rounds is not None:
+            self._base_rto = retransmit_timeout_rounds
+        else:
+            self._base_rto = max(2, 2 * (net_delay_rounds + 1))
+        self._next_tseq = {}  # (src, dst) -> next sequence number
+        # (src, dst, tseq) -> [message, attempts, rto, deadline]
+        self._outstanding = {}
+        self._delivered = set()  # (src, dst, tseq) accepted exactly once
+        # When the scheduler has concluded and is settling in-flight
+        # traffic, bypass fault verdicts and retransmit eagerly so the
+        # post-run audit drains deterministically.
+        self.settling = False
+        # --- transport / fault counters ---------------------------------
+        self.retransmits = 0
+        self.acks_sent = 0
+        self.acks_received = 0
+        self.transport_bytes = 0
+        self.dup_suppressed = 0
+        self.dropped = 0
+        self.lost_in_crash = 0
 
+    # ------------------------------------------------------------------
+    # Send path
+    # ------------------------------------------------------------------
     def send(self, message, now_round):
         """Enqueue ``message`` for delivery to ``message.dst_machine``."""
         delay = self.delay
         if self.extra_delay_fn is not None:
             delay += int(self.extra_delay_fn(message))
-        self._push(message.dst_machine, now_round + delay, message)
-        self.total_messages += 1
-        self.total_bytes += self._modelled_bytes(message)
+        if self.reliable and not isinstance(message, AckMessage):
+            self._register(message, now_round)
+        self._transmit(message, now_round, delay)
         if self.duplicate_fn is not None and self.duplicate_fn(message):
-            self._push(message.dst_machine, now_round + delay + 1, message)
+            self._transmit(message, now_round, delay + 1)
+
+    def _register(self, message, now_round):
+        """Assign a link sequence number and arm the retransmit timer."""
+        link = (message.src_machine, message.dst_machine)
+        tseq = self._next_tseq.get(link, 0)
+        self._next_tseq[link] = tseq + 1
+        message.tseq = tseq
+        self._outstanding[link + (tseq,)] = [
+            message,
+            1,
+            self._base_rto,
+            now_round + self._base_rto,
+        ]
+
+    def _transmit(self, message, now_round, delay):
+        """Put one copy on the wire: count it, maybe fault it, enqueue it."""
+        if isinstance(message, AckMessage):
+            self.acks_sent += 1
+            self.transport_bytes += ACK_BYTES
+        else:
+            self.total_messages += 1
+            self.total_bytes += self._modelled_bytes(message)
+        drop, extra, dup = (False, 0, False)
+        if self.faults is not None and not self.settling:
+            drop, extra, dup = self.faults.on_transmit(message, now_round)
+        if not drop:
+            self._push(message.dst_machine, now_round + delay + extra, message)
+        else:
+            self.dropped += 1
+        if dup:
+            # The duplicated copy travels independently, one round later;
+            # it is a transmitted copy too, but gets no second verdict.
+            if isinstance(message, AckMessage):
+                self.acks_sent += 1
+                self.transport_bytes += ACK_BYTES
+            else:
+                self.total_messages += 1
+                self.total_bytes += self._modelled_bytes(message)
+            self._push(message.dst_machine, now_round + delay + extra + 1, message)
 
     def _push(self, dst, round_, message):
         self._counter += 1
@@ -48,14 +152,112 @@ class SimulatedNetwork:
             return message.modelled_bytes(self.num_slots)
         return CONTROL_BYTES
 
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
     def drain(self, machine_id, now_round):
-        """Pop all messages deliverable to ``machine_id`` by ``now_round``."""
+        """Pop all messages deliverable to ``machine_id`` by ``now_round``.
+
+        Under reliable transport this is the receiving endpoint: ACK
+        frames retire retransmit state and are consumed here; sequenced
+        data frames are acked (every copy — a re-ack refreshes a lost ACK)
+        and handed up exactly once.
+        """
         queue = self._queues[machine_id]
         out = []
         while queue and queue[0][0] <= now_round:
-            out.append(heapq.heappop(queue)[2])
+            message = heapq.heappop(queue)[2]
+            if isinstance(message, AckMessage):
+                self.acks_received += 1
+                self._outstanding.pop(
+                    (message.dst_machine, message.src_machine, message.acked_tseq),
+                    None,
+                )
+                continue
+            if self.reliable and message.tseq is not None:
+                key = (message.src_machine, message.dst_machine, message.tseq)
+                self._send_ack(message, now_round)
+                if key in self._delivered:
+                    self.dup_suppressed += 1
+                    continue
+                self._delivered.add(key)
+                if self.sanitizer is not None:
+                    self.sanitizer.on_transport_deliver(*key)
+            out.append(message)
         return out
 
+    def _send_ack(self, message, now_round):
+        ack = AckMessage(
+            src_machine=message.dst_machine,
+            dst_machine=message.src_machine,
+            acked_tseq=message.tseq,
+        )
+        self._transmit(ack, now_round, self.delay)
+
+    # ------------------------------------------------------------------
+    # Retransmit timer (driven once per scheduler round)
+    # ------------------------------------------------------------------
+    def tick(self, now_round):
+        """Retransmit every outstanding frame whose timeout expired."""
+        if not self._outstanding:
+            return
+        for key in sorted(self._outstanding):
+            entry = self._outstanding[key]
+            if self.settling and entry[3] > now_round:
+                entry[3] = now_round  # fast-drain: no point waiting
+            if entry[3] > now_round:
+                continue
+            src = key[0]
+            if (
+                self.faults is not None
+                and not self.settling
+                and not self.faults.machine_up(src, now_round)
+            ):
+                # A down machine cannot retransmit; push the deadline so
+                # it retries promptly after recovery.
+                entry[3] = now_round + 1
+                continue
+            message, attempts, rto, _ = entry
+            entry[1] = attempts + 1
+            entry[2] = min(rto * 2, MAX_RTO_ROUNDS)
+            entry[3] = now_round + entry[2]
+            self.retransmits += 1
+            self._transmit(message, now_round, self.delay)
+            if self.obs is not None:
+                self.obs.cluster_instant(
+                    "net.retx",
+                    args={
+                        "src": src,
+                        "dst": key[1],
+                        "tseq": key[2],
+                        "attempt": entry[1],
+                    },
+                    round_no=now_round,
+                    cat="net",
+                )
+                self.obs.metrics.counter(
+                    "repro_net_retransmits_total",
+                    "reliable-transport retransmissions",
+                ).labels().inc()
+
+    # ------------------------------------------------------------------
+    # Machine-crash hook
+    # ------------------------------------------------------------------
+    def lose_queue(self, machine_id):
+        """A crash at ``machine_id`` loses everything in its RX buffers.
+
+        Sender-side retransmit state lives on *other* machines'
+        endpoints (``_outstanding``), so under reliable transport every
+        lost frame comes back; without it the loss is permanent.
+        """
+        lost = len(self._queues[machine_id])
+        self.lost_in_crash += lost
+        self._queues[machine_id] = []
+        return lost
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
     def pending(self):
         """Total undelivered messages (ground-truth check for tests)."""
         return sum(len(q) for q in self._queues)
@@ -71,3 +273,32 @@ class SimulatedNetwork:
                 elif isinstance(message, StatusMessage):
                     counts["status"] += 1
         return counts
+
+    def undelivered_work(self):
+        """Outstanding Batch/Done frames not yet accepted by a receiver.
+
+        This — not raw ``_outstanding`` size — is what quiescence must
+        wait on: a frame that was delivered but whose ACK is still in
+        flight carries no undone protocol work.
+        """
+        count = 0
+        for key, entry in self._outstanding.items():
+            if key in self._delivered:
+                continue
+            if isinstance(entry[0], (Batch, DoneMessage)):
+                count += 1
+        return count
+
+    def transport_summary(self):
+        """Transport/fault counters for :class:`RunStats` and reports."""
+        return {
+            "reliable": self.reliable,
+            "retransmits": self.retransmits,
+            "acks_sent": self.acks_sent,
+            "acks_received": self.acks_received,
+            "transport_bytes": self.transport_bytes,
+            "dup_suppressed": self.dup_suppressed,
+            "dropped": self.dropped,
+            "lost_in_crash": self.lost_in_crash,
+            "unacked": len(self._outstanding),
+        }

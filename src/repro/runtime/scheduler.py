@@ -26,9 +26,11 @@ from .machine import Machine
 from .network import SimulatedNetwork
 from .stats import RunStats
 
-#: Rounds between STATUS broadcasts (termination protocol heartbeat).
+#: Default rounds between STATUS broadcasts (termination heartbeat).
+#: Configurable per run via ``EngineConfig.status_interval``.
 STATUS_INTERVAL = 4
-#: Rounds of zero progress tolerated before diagnosing a stall.
+#: Default rounds of zero progress tolerated before diagnosing a stall.
+#: Configurable per run via ``EngineConfig.stall_limit``.
 STALL_LIMIT = 400
 
 
@@ -49,10 +51,29 @@ class QueryExecution:
         self.obs = recorder
         if recorder is not None:
             recorder.configure(config.num_machines, config.quantum)
-        self.network = SimulatedNetwork(
-            config.num_machines, config.net_delay_rounds, plan.num_slots
-        )
         self.sanitizer = sanitizer_from_config(config, obs=recorder)
+        if config.faults is not None:
+            from ..faults import FaultInjector  # deferred: avoids import cycle
+
+            self.injector = FaultInjector(
+                config.faults, config.num_machines, obs=recorder
+            )
+        else:
+            self.injector = None
+        self.network = SimulatedNetwork(
+            config.num_machines,
+            config.net_delay_rounds,
+            plan.num_slots,
+            reliable=config.transport_enabled,
+            faults=self.injector,
+            retransmit_timeout_rounds=config.retransmit_timeout_rounds,
+            obs=recorder,
+            sanitizer=self.sanitizer,
+        )
+        # Partial-results epilogue state: set when a permanently-down
+        # machine keeps the termination protocol from ever concluding.
+        self.partial = False
+        self.down_machines = ()
         self._sched_rng = (
             random.Random(config.schedule_seed)
             if config.schedule_seed is not None
@@ -76,6 +97,9 @@ class QueryExecution:
         quiescent_round = None
         concluded = [False] * len(self.machines)
         obs = self.obs
+        injector = self.injector
+        status_interval = self.config.status_interval
+        stall_limit = self.config.stall_limit
         if obs is not None:
             obs.cluster_instant("query.start", args={"stages": len(self.plan.stages)})
         while True:
@@ -87,7 +111,18 @@ class QueryExecution:
                 )
             if obs is not None:
                 obs.begin_round(round_no)
+            if injector is not None:
+                for crashed in injector.begin_round(round_no):
+                    # A crash loses everything sitting in the machine's
+                    # network RX buffers; durable machine state survives
+                    # (fail-recover).  Reliable senders still hold the
+                    # frames and will retransmit.
+                    self.network.lose_queue(crashed)
             for machine in self.machines:
+                if injector is not None and not injector.machine_up(
+                    machine.id, round_no
+                ):
+                    continue  # messages wait in the network
                 machine.deliver(self.network.drain(machine.id, round_no))
             rng = self._sched_rng
             service_order = (
@@ -102,15 +137,26 @@ class QueryExecution:
             progress = 0.0
             per_machine = [0.0] * len(self.machines)
             for machine in service_order:
+                if injector is not None and not injector.machine_up(
+                    machine.id, round_no
+                ):
+                    machine.stats.stalled_rounds += 1
+                    continue
                 consumed = machine.run_round(round_no, rng=rng)
                 per_machine[machine.id] = consumed
                 progress += consumed
+            if self.network.reliable:
+                self.network.tick(round_no)
             if self.trace is not None:
                 self.trace.record_round(round_no, per_machine)
             if obs is not None:
                 obs.record_round(round_no, per_machine)
-            if round_no % STATUS_INTERVAL == 0:
+            if round_no % status_interval == 0:
                 for machine in self.machines:
+                    if injector is not None and not injector.machine_up(
+                        machine.id, round_no
+                    ):
+                        continue  # a down machine broadcasts nothing
                     machine.broadcast_status(round_no)
                 if self.sanitizer is not None:
                     self.sanitizer.check_global_counts(
@@ -118,6 +164,11 @@ class QueryExecution:
                     )
                 done = True
                 for machine in self.machines:
+                    if injector is not None and not injector.machine_up(
+                        machine.id, round_no
+                    ):
+                        done = done and concluded[machine.id]
+                        continue
                     if not concluded[machine.id]:
                         concluded[machine.id] = machine.check_termination()
                     done = done and concluded[machine.id]
@@ -142,10 +193,33 @@ class QueryExecution:
                 # still decides when machines actually stop.
                 if quiescent_round is None and self.ground_truth_quiescent():
                     quiescent_round = round_no
-                if round_no - last_progress > STALL_LIMIT:
+                if injector is not None and injector.transient_down(round_no):
+                    # An outage is not a stall: machines that will recover
+                    # (or retransmissions pending on their behalf) reset
+                    # the progress clock.
+                    last_progress = round_no
+                elif round_no - last_progress > stall_limit:
+                    permanent = (
+                        injector.permanent_down(round_no)
+                        if injector is not None
+                        else ()
+                    )
+                    if permanent:
+                        # A machine that never comes back: give up on its
+                        # share of the work and return what the survivors
+                        # produced, flagged incomplete.
+                        self.partial = True
+                        self.down_machines = permanent
+                        if obs is not None:
+                            obs.cluster_instant(
+                                "scheduler.partial",
+                                args={"down": list(permanent), "round": round_no},
+                                round_no=round_no,
+                            )
+                        break
                     self._diagnose_stall(round_no)
 
-        if self.sanitizer is not None:
+        if self.sanitizer is not None and not self.partial:
             round_no = self._settle_and_audit(round_no)
         for machine in self.machines:
             machine.finalize_stats()
@@ -163,6 +237,12 @@ class QueryExecution:
             self.config,
             quiescent_round=quiescent_round,
             schedule_fingerprint=self.schedule_fingerprint,
+            partial=self.partial,
+            down_machines=self.down_machines,
+            transport=(
+                self.network.transport_summary() if self.network.reliable else None
+            ),
+            fault_events=injector.summary() if injector is not None else None,
         )
 
     def _settle_and_audit(self, round_no):
@@ -175,22 +255,46 @@ class QueryExecution:
         per-bucket map) and that global sent == processed on every channel.
         """
         settle_limit = round_no + 16 + 4 * self.config.net_delay_rounds
+        if self.network.reliable:
+            # Under reliable transport a dropped frame may be nowhere in
+            # the queues yet (awaiting its retransmit timer): settling mode
+            # bypasses fault verdicts and fast-retransmits so the audit
+            # drains deterministically.  Downtime windows are ignored here
+            # — the settle phase is the audit epilogue, not measured time.
+            self.network.settling = True
+            settle_limit += 4 * self.config.net_delay_rounds + 8
         while round_no < settle_limit:
             kinds = self.network.pending_kinds()
-            if not kinds["batch"] and not kinds["done"]:
+            outstanding = (
+                self.network.undelivered_work() if self.network.reliable else 0
+            )
+            if not kinds["batch"] and not kinds["done"] and not outstanding:
                 break
             round_no += 1
+            if self.network.reliable:
+                self.network.tick(round_no)
             for machine in self.machines:
                 machine.deliver(self.network.drain(machine.id, round_no))
         self.sanitizer.on_query_end([m.flow for m in self.machines])
         self.sanitizer.check_final_counts([m.tracker for m in self.machines])
+        if self.network.reliable:
+            self.sanitizer.check_transport_settled(self.network)
         return round_no
 
     # ------------------------------------------------------------------
     def ground_truth_quiescent(self):
-        """True iff no work exists anywhere (ignoring STATUS heartbeats)."""
+        """True iff no work exists anywhere (ignoring STATUS heartbeats).
+
+        Under reliable transport, *undelivered* Batch/Done frames count as
+        work (a dropped frame awaiting retransmission is nowhere in the
+        queues); delivered-but-unacked frames do not — which keeps the
+        quiescent round, and hence the virtual makespan, identical to an
+        unreliable run when no faults actually fire.
+        """
         kinds = self.network.pending_kinds()
         if kinds["batch"] or kinds["done"]:
+            return False
+        if self.network.reliable and self.network.undelivered_work():
             return False
         return all(m.is_quiescent() for m in self.machines)
 
@@ -207,7 +311,8 @@ class QueryExecution:
         blocked = sum(m.stats.flow_control_blocks for m in self.machines)
         in_flight = [m.flow.in_flight for m in self.machines]
         raise FlowControlDeadlock(
-            f"no progress for {STALL_LIMIT} rounds at round {round_no}: "
-            f"{blocked} flow-control blocks, in-flight credits {in_flight}. "
-            "Increase buffers_per_machine / rpq_overflow_per_depth."
+            f"no progress for {self.config.stall_limit} rounds at round "
+            f"{round_no}: {blocked} flow-control blocks, in-flight credits "
+            f"{in_flight}. Increase buffers_per_machine / "
+            "rpq_overflow_per_depth."
         )

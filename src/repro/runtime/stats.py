@@ -48,6 +48,9 @@ class MachineStats:
         self.busy_rounds = 0
         self.idle_rounds = 0
         self.blocked_rounds = 0
+        # Rounds this machine was down (stalled/crashed) under fault
+        # injection; always 0 on fault-free runs.
+        self.stalled_rounds = 0
         self.cost_units = 0.0
 
     # -- helpers ---------------------------------------------------------
@@ -72,6 +75,10 @@ class RunStats:
         config,
         quiescent_round=None,
         schedule_fingerprint=None,
+        partial=False,
+        down_machines=(),
+        transport=None,
+        fault_events=None,
     ):
         self.per_machine = machine_stats
         self.rounds = rounds
@@ -83,6 +90,15 @@ class RunStats:
         # the canonical deterministic schedule.
         self.schedule_fingerprint = schedule_fingerprint
         self.num_machines = len(machine_stats)
+        # Fault/transport epilogue (:mod:`repro.faults`): ``partial`` is
+        # True when a permanently-down machine forced the scheduler to
+        # return an incomplete result set; ``transport`` is the network's
+        # ARQ counter summary (None when reliable transport was off);
+        # ``fault_events`` the injected-fault counts (None when fault-free).
+        self.partial = partial
+        self.down_machines = tuple(down_machines)
+        self.transport = transport
+        self.fault_events = fault_events
 
     # -- aggregation helpers ----------------------------------------------
     def _sum(self, attr):
@@ -189,7 +205,7 @@ class RunStats:
         ]
 
     def summary(self):
-        return {
+        out = {
             "rounds": self.rounds,
             "wall_seconds": round(self.wall_seconds, 4),
             "machines": self.num_machines,
@@ -202,3 +218,11 @@ class RunStats:
             "index_entries": self.index_entries,
             "index_bytes": self.index_bytes,
         }
+        if self.partial:
+            out["partial"] = True
+            out["down_machines"] = list(self.down_machines)
+        if self.fault_events is not None:
+            out["fault_events"] = dict(self.fault_events)
+        if self.transport is not None:
+            out["transport"] = dict(self.transport)
+        return out

@@ -211,6 +211,17 @@ class TerminationProtocol:
         current = self.views.get(message.src_machine)
         if current is None or message.generation > current.generation:
             self.views[message.src_machine] = message
+        elif self._obs is not None:
+            # Reordered or retransmitted heartbeat: an older (or equal)
+            # generation arrived after a newer one was already adopted.
+            # Keeping only the newest view is what makes the protocol
+            # tolerate lost/duplicated/reordered STATUS traffic.
+            self._obs.metrics.counter(
+                "repro_term_stale_status_total",
+                "STATUS snapshots ignored because a newer generation "
+                "was already known (reordering/retransmission)",
+                ("machine",),
+            ).labels(self.machine_id).inc()
         # Consensus mechanics (paper Section 3.4): a machine adopts larger
         # maximum observed depths learned from other machines' termination
         # messages, so all machines converge on the global maximum and
