@@ -30,6 +30,19 @@ def chaos(ldbc_small):
     return rep
 
 
+@pytest.fixture(scope="module")
+def recovery_chaos(ldbc_small):
+    """Same sweep but with *permanent* crashes and crash recovery on
+    (repro.recovery): the dead machine never returns, its partition fails
+    over to a survivor, and the run must still match fault-free exactly."""
+    graph, info = ldbc_small
+    query = BENCHMARK_QUERIES["Q09"](info)
+    plans = seeded_sweep(NUM_PLANS, base_seed=BASE_SEED, permanent=True)
+    config = EngineConfig(num_machines=4, quantum=400.0, recovery=True)
+    (rep,) = run_chaos_sweep(graph, [query], plans, config=config)
+    return rep
+
+
 def test_fault_sweep_report(chaos, report):
     rows = []
     for run, (seed, ratio) in zip(chaos.runs, chaos.makespan_inflation()):
@@ -66,6 +79,57 @@ def test_fault_sweep_report(chaos, report):
         ),
     )
     report("fault sweep", text)
+
+
+def test_recovery_sweep_report(chaos, recovery_chaos, report):
+    """Recovery-mode makespan inflation (checkpoint + rollback + replay
+    cost) side by side with the transient-crash degrade-mode numbers."""
+    rows = []
+    degrade = dict(chaos.makespan_inflation())
+    for run, (seed, ratio) in zip(
+        recovery_chaos.runs, recovery_chaos.makespan_inflation()
+    ):
+        rows.append(
+            [
+                seed,
+                run.makespan,
+                f"x{degrade.get(seed, 0.0):.2f}",
+                f"x{ratio:.2f}",
+                run.recoveries,
+                run.retransmits,
+                "yes" if run.rows_match and run.depths_match else "NO",
+            ]
+        )
+    text = format_table(
+        [
+            "plan seed",
+            "makespan",
+            "transient",
+            "permanent+recovery",
+            "failovers",
+            "retransmits",
+            "exact",
+        ],
+        rows,
+        title=(
+            "Recovery sweep: makespan inflation, transient crash vs. "
+            "permanent crash with failover (Q09, 4 machines, baseline "
+            f"{recovery_chaos.baseline_makespan} rounds)"
+        ),
+    )
+    report("recovery sweep", text)
+
+
+def test_recovery_runs_reproduce_fault_free_results(recovery_chaos):
+    # The crash-recovery contract: checkpoint/failover/replay makes every
+    # permanent-crash run complete with the fault-free rows + depth table.
+    assert recovery_chaos.ok, recovery_chaos.mismatches
+    assert all(run.complete for run in recovery_chaos.runs)
+
+
+def test_recovery_failovers_actually_fired(recovery_chaos):
+    # Vacuous unless at least one plan's permanent crash hit mid-query.
+    assert sum(run.recoveries for run in recovery_chaos.runs) > 0
 
 
 def test_chaos_runs_reproduce_fault_free_results(chaos):

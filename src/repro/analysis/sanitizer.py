@@ -54,6 +54,22 @@ class RuntimeSanitizer:
         self._last_snapshots = {}  # machine_id -> {key: count} monotone floor
         self._candidates = {}  # machine_id -> {src_machine: generation}
         self._delivered_frames = set()  # (src, dst, tseq) accepted upstream
+        # Non-fatal observations (e.g. a link abandoning retransmission to
+        # a permanently-down peer): surfaced in reports, never raised.
+        self.notes = []  # [(kind, detail), ...]
+        # Recovery bookkeeping: per-epoch record of what each machine
+        # checkpointed, verified again at restore time (repro.recovery).
+        self._checkpoints = {}  # epoch -> {machine_id: (sent, processed, wm)}
+
+    def note(self, kind, detail):
+        """Record a non-fatal observation for reports and tests."""
+        self.notes.append((kind, detail))
+        if self._obs is not None:
+            self._obs.cluster_instant(
+                "sanitizer.note",
+                args={"kind": kind, "detail": detail},
+                cat="sanitizer",
+            )
 
     def _fail(self, invariant, detail):
         if self._obs is not None:
@@ -238,6 +254,84 @@ class RuntimeSanitizer:
                 "after the settle phase (retransmission failed to recover "
                 "them)",
             )
+
+    # ------------------------------------------------------------------
+    # Crash recovery (repro.recovery / docs/recovery.md)
+    # ------------------------------------------------------------------
+    def on_checkpoint(self, epoch, machines):
+        """Record what each machine checkpointed at this epoch.
+
+        The record (termination counters + emitted-output watermark) is
+        the sanitizer's independent copy of the recovery contract: at
+        restore time :meth:`on_recovery` verifies the runtime actually
+        rolled back to exactly this state.
+        """
+        self.checks += 1
+        self._checkpoints[epoch] = {
+            machine.id: (
+                dict(machine.tracker.sent),
+                dict(machine.tracker.processed),
+                len(machine.output_sink.rows),
+            )
+            for machine in machines
+        }
+
+    def on_recovery(self, epoch, machines, network):
+        """Verify the rollback restored the checkpoint exactly, then
+        re-seed the sanitizer's own monotone floors and ledgers.
+
+        A recovery epoch legitimately rewinds termination counters and
+        truncates sink rows — the monotone-counter and exactly-once
+        ledgers must be rebased to the restored state or they would
+        false-positive on perfectly correct replay.
+        """
+        self.checks += 1
+        record = self._checkpoints.get(epoch)
+        if record is None:
+            self._fail(
+                "recovery restores a recorded checkpoint",
+                f"epoch {epoch} restored but no checkpoint was recorded",
+            )
+        for machine in machines:
+            expected = record.get(machine.id)
+            if expected is None:
+                continue
+            sent, processed, watermark = expected
+            if dict(machine.tracker.sent) != sent or (
+                dict(machine.tracker.processed) != processed
+            ):
+                self._fail(
+                    "recovery restores termination counters exactly",
+                    f"machine {machine.id} counters after restore differ "
+                    f"from checkpoint epoch {epoch}",
+                )
+            if len(machine.output_sink.rows) != watermark:
+                self._fail(
+                    "recovery truncates outputs to the watermark",
+                    f"machine {machine.id} has "
+                    f"{len(machine.output_sink.rows)} rows after restore, "
+                    f"checkpoint watermark is {watermark}",
+                )
+        # Rebase the monotone floors and candidate records to the restored
+        # protocol state, and the exactly-once ledger to the restored
+        # transport dedup set (replayed frames will be re-delivered once).
+        for machine in machines:
+            self._last_snapshots[machine.id] = {
+                **{
+                    ("sent", key): count
+                    for key, count in machine.tracker.sent.items()
+                },
+                **{
+                    ("processed", key): count
+                    for key, count in machine.tracker.processed.items()
+                },
+            }
+            candidate = machine.protocol._candidate
+            if candidate is not None:
+                self._candidates[machine.id] = dict(candidate[0])
+            else:
+                self._candidates.pop(machine.id, None)
+        self._delivered_frames = set(network._delivered)
 
     # ------------------------------------------------------------------
     # Reachability index (Section 3.5)

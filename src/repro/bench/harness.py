@@ -27,6 +27,12 @@ class BenchResult:
     value: object = None  # first row/scalar, for cross-engine validation
     stats: object = None  # last run's stats object
     samples: list = field(default_factory=list)
+    # Completeness propagation (repro.faults / repro.recovery): False when
+    # any repetition returned partial results; a partial cell's latency is
+    # a lower bound, not a measurement.
+    complete: bool = True
+    timed_out: bool = False
+    down_machines: tuple = ()
     # Metric-histogram summaries from the last observed run (repro.obs):
     # {metric_name: {label_key: summary_dict}}.  Empty unless the executor
     # attached a recorder (``rpqd_executor(observe=True)``).
@@ -59,6 +65,13 @@ class BenchHarness:
                     cell = cells[(ename, qname)]
                     cell.samples.append((result.virtual_time, wall))
                     cell.stats = result.stats
+                    if getattr(result, "complete", True) is False:
+                        cell.complete = False
+                    if getattr(result, "timed_out", False):
+                        cell.timed_out = True
+                    down = getattr(result.stats, "down_machines", ())
+                    if down:
+                        cell.down_machines = tuple(down)
                     recorder = getattr(result, "obs", None)
                     if recorder is not None:
                         cell.metric_summaries = recorder.metrics.summaries()

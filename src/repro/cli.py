@@ -78,6 +78,10 @@ def _make_engine(args, graph):
                 "delivery guarantee; results may be wrong or hang",
                 file=sys.stderr,
             )
+    if getattr(args, "recover", False):
+        overrides["recovery"] = True
+    if getattr(args, "deadline", None):
+        overrides["deadline"] = args.deadline
     config = EngineConfig(
         num_machines=args.machines,
         use_reachability_index=not args.no_index,
@@ -127,12 +131,19 @@ def cmd_query(args):
         for row in result:
             print("\t".join("NULL" if v is None else str(v) for v in row))
     if getattr(result, "complete", True) is False:
-        down = getattr(result.stats, "down_machines", ())
-        print(
-            f"-- WARNING: PARTIAL RESULTS (machine(s) {list(down)} stayed "
-            "down); rows are a lower bound",
-            file=sys.stderr,
-        )
+        if getattr(result, "timed_out", False):
+            print(
+                "-- WARNING: PARTIAL RESULTS (virtual-clock deadline hit); "
+                "rows are a lower bound",
+                file=sys.stderr,
+            )
+        else:
+            down = getattr(result.stats, "down_machines", ())
+            print(
+                f"-- WARNING: PARTIAL RESULTS (machine(s) {list(down)} stayed "
+                "down); rows are a lower bound",
+                file=sys.stderr,
+            )
     if args.stats:
         print(
             f"-- virtual latency: {result.virtual_time} rounds", file=sys.stderr
@@ -224,14 +235,26 @@ def cmd_workload(args):
     from .datagen import BENCHMARK_QUERIES, mini_ldbc
 
     graph, info = mini_ldbc(args.scale, seed=args.seed)
+    overrides = {}
+    if getattr(args, "faults", None):
+        from .faults import FaultPlan
+
+        overrides["faults"] = FaultPlan.from_file(args.faults)
+    if getattr(args, "recover", False):
+        overrides["recovery"] = True
+    if getattr(args, "deadline", None):
+        overrides["deadline"] = args.deadline
     engines = {
-        "rpqd": RPQdEngine(graph, EngineConfig(num_machines=args.machines)),
+        "rpqd": RPQdEngine(
+            graph, EngineConfig(num_machines=args.machines, **overrides)
+        ),
         "bft": BftEngine(graph),
         "recursive": RecursiveEngine(graph),
     }
     rows = []
     records = []
     timelines = []
+    any_partial = False
     for name, build in BENCHMARK_QUERIES.items():
         query = build(info)
         row = [name]
@@ -243,7 +266,26 @@ def cmd_workload(args):
             else:
                 result = engine.execute(query)
             latency = round(result.virtual_time, 1)
-            row.append(latency)
+            if ename == "rpqd":
+                # Completeness propagation: a run cut short by a permanent
+                # machine loss (recovery off) or a deadline is flagged so
+                # its latency is never mistaken for a full answer.
+                complete = getattr(result, "complete", True)
+                record["complete"] = complete
+                record["timed_out"] = getattr(result, "timed_out", False)
+                record["down_machines"] = list(
+                    getattr(result.stats, "down_machines", ())
+                )
+                recovery = getattr(result.stats, "recovery", None)
+                if recovery is not None:
+                    record["recoveries"] = recovery.get("recoveries", 0)
+                if not complete:
+                    any_partial = True
+                    row.append(f"{latency}*")
+                else:
+                    row.append(latency)
+            else:
+                row.append(latency)
             record[ename] = latency
         rows.append(row)
         records.append(record)
@@ -265,6 +307,8 @@ def cmd_workload(args):
                 f"(virtual latency, rpqd on {args.machines} machines)",
             )
         )
+        if any_partial:
+            print("* PARTIAL results (incomplete run); latency is a lower bound")
     # With --json the timelines go to stderr so stdout stays parseable.
     out = sys.stderr if args.json else sys.stdout
     for name, trace in timelines:
@@ -288,6 +332,7 @@ def cmd_chaos(args):
         )
         return 2
     queries = [BENCHMARK_QUERIES[n](info) for n in names]
+    recover = getattr(args, "recover", False)
     plans = seeded_sweep(
         args.plans,
         base_seed=args.base_seed,
@@ -296,8 +341,11 @@ def cmd_chaos(args):
         dup_prob=args.dup,
         delay_prob=args.delay,
         reorder_prob=args.reorder,
+        permanent=recover,
     )
-    config = EngineConfig(num_machines=args.machines, sanitize=args.sanitize)
+    config = EngineConfig(
+        num_machines=args.machines, sanitize=args.sanitize, recovery=recover
+    )
     reports = run_chaos_sweep(graph, queries, plans, config=config)
     records = []
     for name, report in zip(names, reports):
@@ -312,6 +360,7 @@ def cmd_chaos(args):
                     for seed, ratio in report.makespan_inflation()
                 ],
                 "retransmits": sum(r.retransmits for r in report.runs),
+                "recoveries": sum(r.recoveries for r in report.runs),
                 "ok": report.ok,
                 "mismatches": report.mismatches,
             }
@@ -341,9 +390,15 @@ def cmd_chaos(args):
         )
         return 1
     total = sum(r.total_faults for r in reports)
+    extra = ""
+    if recover:
+        failovers = sum(
+            run.recoveries for report in reports for run in report.runs
+        )
+        extra = f", {failovers} crash failovers recovered"
     print(
         f"-- chaos sweep: ok ({len(reports)} queries x {args.plans} plans, "
-        f"{total} faults injected, results identical to fault-free)"
+        f"{total} faults injected, results identical to fault-free{extra})"
     )
     return 0
 
@@ -409,6 +464,18 @@ def build_parser():
         help="disable the reliable transport layer even with --faults "
         "(chaos without the safety net)",
     )
+    p.add_argument(
+        "--recover",
+        action="store_true",
+        help="enable crash recovery: checkpoint/failover/replay survives "
+        "permanent machine crashes in the fault plan (rpqd only)",
+    )
+    p.add_argument(
+        "--deadline",
+        type=int,
+        metavar="ROUNDS",
+        help="abort cleanly after this many virtual rounds (partial results)",
+    )
     _add_engine_args(p)
     p.set_defaults(func=cmd_query)
 
@@ -430,6 +497,22 @@ def build_parser():
         "--timeline",
         action="store_true",
         help="print the rpqd ASCII utilization timeline per query",
+    )
+    p.add_argument(
+        "--faults",
+        metavar="PLAN.json",
+        help="run the rpqd engine under a repro.faults.FaultPlan JSON file",
+    )
+    p.add_argument(
+        "--recover",
+        action="store_true",
+        help="enable crash recovery for the rpqd engine (with --faults)",
+    )
+    p.add_argument(
+        "--deadline",
+        type=int,
+        metavar="ROUNDS",
+        help="abort each rpqd query after this many virtual rounds",
     )
     p.set_defaults(func=cmd_workload)
 
@@ -467,6 +550,12 @@ def build_parser():
     p.add_argument(
         "--sanitize", action="store_true",
         help="run every execution under the protocol sanitizer",
+    )
+    p.add_argument(
+        "--recover",
+        action="store_true",
+        help="sweep *permanent* machine crashes with crash recovery on: "
+        "checkpoint/failover/replay must still reproduce fault-free results",
     )
     p.add_argument(
         "--json", action="store_true",

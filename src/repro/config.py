@@ -115,6 +115,20 @@ class EngineConfig:
             scheduler diagnoses a stall (previously hard-coded
             ``STALL_LIMIT``).  Fault runs with long machine outages
             legitimately need more headroom.
+        recovery: enable crash recovery (:mod:`repro.recovery`): epoch
+            checkpoints of all recoverable query state ride the
+            termination protocol, and a *permanent* machine crash triggers
+            partition failover plus a global rollback to the last
+            checkpoint instead of the degrade-to-partial-results path.
+            Requires the reliable transport layer (the ARQ retransmit
+            queue is the replay log).  Off by default — without it,
+            permanent crashes keep PR 3's ``ResultSet.complete=False``
+            behaviour.
+        deadline: optional per-query deadline on the virtual clock, in
+            scheduler rounds.  When the deadline passes before the
+            termination protocol concludes, the run aborts cleanly with
+            ``ResultSet.complete=False`` and ``timed_out=True`` instead
+            of running unbounded under a pathological fault plan.
         max_rounds: safety cap on scheduler rounds before declaring a
             deadlock.
         cost: the virtual-time cost model.
@@ -147,6 +161,9 @@ class EngineConfig:
     retransmit_timeout_rounds: Optional[int] = None
     status_interval: int = 4
     stall_limit: int = 400
+    # Crash recovery (:mod:`repro.recovery`) and virtual-clock deadline.
+    recovery: bool = False
+    deadline: Optional[int] = None
     # Plan with sampled "scouting" probes instead of static selectivity
     # heuristics (the paper's cited scouting-queries planning technique).
     scouting: bool = False
@@ -205,6 +222,16 @@ class EngineConfig:
             )
         if self.reliable_transport not in (None, True, False):
             raise ConfigError("reliable_transport must be None, True, or False")
+        if self.deadline is not None and (
+            not isinstance(self.deadline, int) or self.deadline < 1
+        ):
+            raise ConfigError("deadline must be None or a positive int (rounds)")
+        if self.recovery and self.reliable_transport is False:
+            raise ConfigError(
+                "recovery requires the reliable transport layer "
+                "(the ARQ retransmit queue is the replay log); drop "
+                "reliable_transport=False"
+            )
         if self.faults is not None:
             from .faults import FaultPlan  # deferred: faults imports errors only
 
@@ -219,10 +246,11 @@ class EngineConfig:
 
     @property
     def transport_enabled(self):
-        """Reliable transport resolution: explicit flag, else auto-on with faults."""
+        """Reliable transport resolution: explicit flag, else auto-on with
+        faults or recovery (both need the ARQ layer)."""
         if self.reliable_transport is not None:
             return self.reliable_transport
-        return self.faults is not None
+        return self.faults is not None or self.recovery
 
     def with_(self, **overrides):
         """Return a copy of this config with the given fields replaced."""

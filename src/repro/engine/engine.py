@@ -65,6 +65,11 @@ class QueryResult:
         return self.result_set.complete
 
     @property
+    def timed_out(self):
+        """True when the run was aborted at ``EngineConfig.deadline``."""
+        return self.result_set.timed_out
+
+    @property
     def virtual_time(self):
         """Virtual makespan in scheduler rounds (the latency metric)."""
         return self.stats.virtual_time
@@ -144,5 +149,10 @@ class RPQdEngine:
             trace=trace, recorder=recorder,
         )
         stats = execution.run()
-        result_set = assemble_results(plan, sinks, complete=not execution.partial)
+        result_set = assemble_results(
+            plan,
+            sinks,
+            complete=not execution.partial,
+            timed_out=execution.timed_out,
+        )
         return QueryResult(result_set, stats, plan, trace=trace, obs=recorder)

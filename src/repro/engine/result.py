@@ -48,6 +48,17 @@ class _AggAccumulator:
         if self.func in ("max",):
             self.max = value if self.max is None else max(self.max, value)
 
+    def clone(self):
+        """Value copy for recovery checkpoints (:mod:`repro.recovery`)."""
+        new = _AggAccumulator(self.func, self.distinct)
+        new.count = self.count
+        new.total = self.total
+        new.min = self.min
+        new.max = self.max
+        if self.values is not None:
+            new.values = set(self.values)
+        return new
+
     def merge(self, other):
         if self.distinct:
             self.values |= other.values
@@ -101,6 +112,37 @@ class MachineSink:
         self.rows = []
         self.groups = {}  # group key -> (plain values, [accumulators])
 
+    # -- crash recovery (:mod:`repro.recovery`) -------------------------
+    def checkpoint_state(self):
+        """Emitted-output watermark + aggregate-state snapshot.
+
+        ``rows`` is append-only, so the checkpoint records only its length
+        (the watermark); aggregate groups are value-copied.
+        """
+        return {
+            "watermark": len(self.rows),
+            "groups": {
+                key: (
+                    list(plain),
+                    [acc.clone() if acc is not None else None for acc in accs],
+                )
+                for key, (plain, accs) in self.groups.items()
+            },
+        }
+
+    def restore_state(self, state):
+        """Roll back to the checkpoint: truncate rows past the watermark
+        (output dedup — replayed work re-emits them exactly once) and
+        restore the aggregate accumulators."""
+        del self.rows[state["watermark"]:]
+        self.groups = {
+            key: (
+                list(plain),
+                [acc.clone() if acc is not None else None for acc in accs],
+            )
+            for key, (plain, accs) in state["groups"].items()
+        }
+
     def add(self, ctx):
         plan = self.plan
         state = self._state
@@ -131,15 +173,18 @@ class ResultSet:
     """Final, merged query result.
 
     ``complete`` is ``False`` when a permanently-failed machine forced the
-    scheduler to give up on part of the work (:mod:`repro.faults`): the
-    rows are whatever the surviving machines produced and must be treated
-    as a lower bound, not the answer.
+    scheduler to give up on part of the work (:mod:`repro.faults`) — with
+    recovery off — or when the run hit ``EngineConfig.deadline`` on the
+    virtual clock; in the latter case ``timed_out`` is also ``True``.  The
+    rows are then whatever the surviving machines produced and must be
+    treated as a lower bound, not the answer.
     """
 
-    def __init__(self, columns, rows, complete=True):
+    def __init__(self, columns, rows, complete=True, timed_out=False):
         self.columns = columns
         self._rows = rows
         self.complete = complete
+        self.timed_out = timed_out
 
     def __iter__(self):
         return iter(self._rows)
@@ -196,6 +241,8 @@ class ResultSet:
 
     def __repr__(self):
         suffix = "" if self.complete else ", complete=False"
+        if self.timed_out:
+            suffix += ", timed_out=True"
         return f"ResultSet(columns={self.columns}, rows={len(self._rows)}{suffix})"
 
 
@@ -206,7 +253,7 @@ def _sort_key(value):
     return (0 if isinstance(value, (int, float, bool)) else 1, type(value).__name__, value)
 
 
-def assemble_results(plan, sinks, complete=True):
+def assemble_results(plan, sinks, complete=True, timed_out=False):
     """Merge per-machine sinks into the final :class:`ResultSet`."""
     columns = [p.name for p in plan.projections]
     if plan.has_aggregates:
@@ -273,4 +320,4 @@ def assemble_results(plan, sinks, complete=True):
         rows = rows[offset:]
     if plan.limit is not None:
         rows = rows[: plan.limit]
-    return ResultSet(columns, rows, complete=complete)
+    return ResultSet(columns, rows, complete=complete, timed_out=timed_out)

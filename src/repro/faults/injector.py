@@ -174,6 +174,11 @@ class FaultInjector:
             if m not in self._permanent
         )
 
+    @property
+    def permanent_machines(self):
+        """Machines whose plan includes a permanent crash (sorted tuple)."""
+        return self._permanent
+
     def permanent_down(self, round_no):
         """Machines down now that never recover (partial-results trigger)."""
         return tuple(

@@ -224,6 +224,7 @@ def seeded_sweep(
     reorder_window=2,
     stalls=True,
     crashes=True,
+    permanent=False,
 ):
     """``num_plans`` deterministic fault plans for a chaos sweep.
 
@@ -232,6 +233,10 @@ def seeded_sweep(
     plan stalls one machine for a random window and transiently crashes
     another within the first ``horizon`` rounds (never machine 0's crash
     and stall at once, so at least one fault-free machine remains).
+
+    With ``permanent=True`` the crash never recovers — the sweep for the
+    crash-recovery path (``EngineConfig(recovery=True)``), where the dead
+    machine's partition must fail over to a survivor.
     """
     plans = []
     for i in range(num_plans):
@@ -249,11 +254,12 @@ def seeded_sweep(
             )
         if crashes:
             crash_round = rng.randint(2, max(2, horizon // 2))
+            recover_round = crash_round + rng.randint(5, 30)
             plan_crashes = (
                 MachineCrash(
                     machine=rng.randrange(num_machines),
                     round=crash_round,
-                    recover_round=crash_round + rng.randint(5, 30),
+                    recover_round=None if permanent else recover_round,
                 ),
             )
         plans.append(

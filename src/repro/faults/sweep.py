@@ -33,6 +33,7 @@ class ChaosRun:
     rounds: int
     fault_counts: dict = field(default_factory=dict)
     retransmits: int = 0
+    recoveries: int = 0  # crash-recovery failovers (EngineConfig(recovery=True))
 
 
 @dataclass
@@ -83,6 +84,10 @@ def run_chaos_sweep(graph, queries, plans, config=None, compare_depths=True):
     the comparison).  Every plan run must reproduce the baseline rows, be
     flagged complete, and — when ``compare_depths`` — match the fault-free
     ``depth_table()`` exactly.
+
+    With ``config.recovery=True`` the same oracle extends to *permanent*
+    crashes (``seeded_sweep(permanent=True)``): checkpoint, failover, and
+    exactly-once replay must reproduce the baseline despite machine loss.
     """
     from ..config import EngineConfig
     from ..engine import RPQdEngine
@@ -108,6 +113,7 @@ def run_chaos_sweep(graph, queries, plans, config=None, compare_depths=True):
             rows_ok = rows == baseline
             depths_ok = (not compare_depths) or depths == base_depths
             transport = result.stats.transport or {}
+            recovery = getattr(result.stats, "recovery", None) or {}
             report.runs.append(
                 ChaosRun(
                     seed=plan.seed,
@@ -118,6 +124,7 @@ def run_chaos_sweep(graph, queries, plans, config=None, compare_depths=True):
                     rounds=result.stats.rounds,
                     fault_counts=dict(result.stats.fault_events or {}),
                     retransmits=transport.get("retransmits", 0),
+                    recoveries=recovery.get("recoveries", 0),
                 )
             )
             if not rows_ok:

@@ -33,6 +33,17 @@ class DistributedGraph:
     def partition(self, machine):
         return self.partitions[machine]
 
+    def rebuild_partition(self, machine):
+        """A fresh partition view for ``machine`` (crash failover).
+
+        The partitioner is deterministic, so a surviving host adopting a
+        dead machine's logical id re-derives exactly the same vertex
+        ownership — no data movement to model, just a new access surface.
+        """
+        partition = GraphPartition(self, machine)
+        self.partitions[machine] = partition
+        return partition
+
     def balance(self):
         """Return per-machine local vertex counts (for diagnostics)."""
         counts = [0] * self.num_machines

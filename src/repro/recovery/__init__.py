@@ -1,0 +1,13 @@
+"""Crash recovery for the simulated cluster (docs/recovery.md).
+
+Epoch checkpointing, partition failover, and exactly-once replay so a
+query survives the *permanent* loss of machines (as long as one
+survives) and still returns the fault-free-identical result set.
+Enabled with ``EngineConfig(recovery=True)``; requires the reliable
+transport layer, whose retransmit queue doubles as the replay log.
+"""
+
+from .checkpoint import CheckpointStore, ClusterCheckpoint
+from .manager import RecoveryManager
+
+__all__ = ["CheckpointStore", "ClusterCheckpoint", "RecoveryManager"]

@@ -1,0 +1,233 @@
+"""Crash recovery: partition failover and exactly-once replay.
+
+The :class:`RecoveryManager` coordinates the whole recovery story
+(docs/recovery.md):
+
+* **Logical vs. physical machines.**  Query state, routing, and message
+  addressing all use *logical* machine ids.  ``hosts[logical]`` maps each
+  logical machine to the physical host currently running it — identity
+  until a failover moves a dead host's logicals onto survivors.  The
+  deterministic partitioner means the new host re-derives the dead
+  machine's partition instead of recovering data.
+
+* **Epoch checkpoints.**  Between rounds — riding the termination
+  protocol's natural cut points: whenever the set of globally-terminated
+  ``(stage, depth)`` channels grows — every machine snapshots its
+  recoverable state into the durable :class:`CheckpointStore`, plus one
+  initial checkpoint before round 1 so a crash during depth-0 bootstrap
+  is recoverable.
+
+* **Global rollback.**  On a permanent crash the manager bumps the
+  recovery epoch, re-hosts the dead machine's logicals (min-load over
+  survivors), and rolls *all* machines back to the latest checkpoint.
+  Survivor-side state past the checkpoint cannot be kept: re-execution
+  re-assigns transport sequence numbers, so mixing pre-crash and
+  replayed frames would break the dedup keys.
+
+* **Exactly-once replay.**  The ARQ retransmit queue is the redo log:
+  restoring ``_outstanding`` re-sends every frame unacked at checkpoint
+  time, the restored receiver dedup ledger suppresses re-delivery of
+  frames accepted before the checkpoint, and the restored sink
+  watermarks truncate outputs emitted past it — so every context is
+  processed, and every row emitted, exactly once.
+
+* **Epoch fencing.**  Every in-flight copy is stamped with its send
+  epoch; the receive path discards copies older than the current epoch,
+  so stale pre-rollback traffic (data *and* ACKs) can never contaminate
+  the replay.
+
+The manager lives in the scheduler, not on any machine — it models the
+replicated coordinator service a real deployment would run (e.g. on the
+checkpoint store's consensus group), which is why the crash of machine 0
+is as recoverable as any other.
+
+Failure detection is instant (the round the crash fires): the simulation
+does not model a failure-detector timeout, a deliberate simplification
+noted in docs/recovery.md.
+"""
+
+from collections import Counter
+
+from ..errors import ExecutionError
+from .checkpoint import CheckpointStore, ClusterCheckpoint
+
+
+class RecoveryManager:
+    """Checkpoint/failover/replay coordinator for one query execution."""
+
+    def __init__(self, machines, network, dgraph, injector, sanitizer=None, obs=None):
+        self.machines = machines
+        self.network = network
+        self.dgraph = dgraph
+        self.injector = injector
+        self.sanitizer = sanitizer
+        self.obs = obs
+        self.epoch = 0
+        self.hosts = list(range(len(machines)))  # logical -> physical
+        self.failed_over = set()  # physical hosts permanently lost
+        self.store = CheckpointStore()
+        self.checkpoints_taken = 0
+        self.recoveries = 0
+        self._checkpointed_terminated = set()
+        # The network shares the live hosts list: retransmission and
+        # abandonment decisions follow failovers automatically.
+        network.hosts = self.hosts
+
+    # ------------------------------------------------------------------
+    # Host mapping
+    # ------------------------------------------------------------------
+    def host_of(self, logical):
+        return self.hosts[logical]
+
+    def hosted_on(self, physical):
+        """Logical machines currently running on physical host ``physical``."""
+        return [l for l, h in enumerate(self.hosts) if h == physical]
+
+    def budget_scale(self, logical):
+        """Compute-budget share for ``logical``: a host running ``k``
+        logical machines gives each ``1/k`` of its per-round quantum."""
+        return 1.0 / len(self.hosted_on(self.hosts[logical]))
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _terminated_intersection(self):
+        """Channels every machine agrees are terminated (globally done)."""
+        out = None
+        for machine in self.machines:
+            keys = machine.protocol.last_terminated_keys
+            out = set(keys) if out is None else out & keys
+        return out or set()
+
+    def checkpoint(self, round_no, reason):
+        """Cut a global checkpoint of all recoverable state, now."""
+        terminated = self._terminated_intersection()
+        snapshot = ClusterCheckpoint(
+            epoch=self.epoch,
+            round_no=round_no,
+            reason=reason,
+            machines={m.id: m.checkpoint_state() for m in self.machines},
+            network=self.network.checkpoint_state(),
+            terminated=terminated,
+        )
+        self.store.put(snapshot)
+        self.checkpoints_taken += 1
+        self._checkpointed_terminated = terminated
+        if self.sanitizer is not None:
+            self.sanitizer.on_checkpoint(self.epoch, self.machines)
+        if self.obs is not None:
+            self.obs.cluster_instant(
+                "recovery.checkpoint",
+                args={
+                    "epoch": self.epoch,
+                    "round": round_no,
+                    "reason": reason,
+                    "terminated_channels": len(terminated),
+                },
+                round_no=round_no,
+                cat="recovery",
+            )
+            self.obs.metrics.counter(
+                "repro_recovery_checkpoints_total",
+                "global recovery checkpoints taken",
+            ).labels().inc()
+        return snapshot
+
+    def maybe_checkpoint(self, round_no):
+        """Checkpoint when a new epoch terminated since the last one.
+
+        The cadence rides the termination protocol: growth of the
+        globally-terminated channel set is exactly the protocol's "this
+        epoch of the computation is finished everywhere" signal, so the
+        checkpoint captures a natural cut with no extra coordination.
+        """
+        terminated = self._terminated_intersection()
+        if terminated - self._checkpointed_terminated:
+            self.checkpoint(round_no, "epoch")
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Failover + rollback + replay
+    # ------------------------------------------------------------------
+    def recover(self, dead_physicals, round_no):
+        """Handle the permanent loss of ``dead_physicals``.
+
+        Re-hosts their logical machines onto the least-loaded survivors,
+        bumps the recovery epoch (fencing all in-flight traffic), rolls
+        every machine back to the latest checkpoint, and arms the ARQ
+        replay.  Returns the restored checkpoint, or ``None`` when every
+        dead host was already failed over.
+        """
+        dead = [p for p in dead_physicals if p not in self.failed_over]
+        if not dead:
+            return None
+        orphaned = []
+        for physical in dead:
+            orphaned.extend(self.hosted_on(physical))
+            self.failed_over.add(physical)
+        orphaned = sorted(set(orphaned))
+        survivors = [
+            p for p in range(len(self.machines)) if p not in self.failed_over
+        ]
+        if not survivors:
+            raise ExecutionError(
+                "crash recovery impossible: no surviving machines"
+            )
+        load = Counter()
+        for logical, host in enumerate(self.hosts):
+            if host in self.failed_over:
+                continue
+            load[host] += 1
+        for logical in orphaned:
+            target = min(survivors, key=lambda s: (load[s], s))
+            self.hosts[logical] = target
+            load[target] += 1
+
+        self.epoch += 1
+        self.network.epoch = self.epoch
+        self.network.rehosted.update(orphaned)
+
+        snapshot = self.store.latest()
+        if snapshot is None:  # cannot happen: an initial checkpoint always exists
+            raise ExecutionError("crash recovery impossible: no checkpoint")
+        for machine in self.machines:
+            partition = None
+            if machine.id in self.network.rehosted:
+                partition = self.dgraph.rebuild_partition(machine.id)
+            machine.restore_state(
+                snapshot.machines[machine.id], round_no, partition=partition
+            )
+        self.network.restore_state(snapshot.network, round_no)
+        self._checkpointed_terminated = set(snapshot.terminated)
+        self.recoveries += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_recovery(snapshot.epoch, self.machines, self.network)
+        if self.obs is not None:
+            self.obs.cluster_instant(
+                "recovery.failover",
+                args={
+                    "epoch": self.epoch,
+                    "round": round_no,
+                    "dead": list(dead),
+                    "rehosted": {l: self.hosts[l] for l in orphaned},
+                    "restored_round": snapshot.round_no,
+                },
+                round_no=round_no,
+                cat="recovery",
+            )
+            self.obs.metrics.counter(
+                "repro_recovery_failovers_total",
+                "permanent-crash failovers (epoch bumps)",
+            ).labels().inc()
+        return snapshot
+
+    def summary(self):
+        """Recovery counters for :class:`RunStats` and reports."""
+        return {
+            "epoch": self.epoch,
+            "checkpoints": self.checkpoints_taken,
+            "recoveries": self.recoveries,
+            "failed_over": sorted(self.failed_over),
+            "hosts": list(self.hosts),
+        }

@@ -116,6 +116,25 @@ class ReachabilityIndex:
             self._probes.labels(self.machine_id, self.rpq_id, "overwrite").inc()
         return IndexOutcome.DUPLICATED
 
+    # -- crash recovery (:mod:`repro.recovery`) -------------------------
+    def checkpoint_state(self):
+        """Snapshot this shard: the two-level map plus its counters."""
+        return (
+            {v: dict(seconds) for v, seconds in self._first_level.items()},
+            self.entries,
+            self.inserts,
+            self.updates,
+            self.hits,
+        )
+
+    def restore_state(self, state):
+        first_level, entries, inserts, updates, hits = state
+        self._first_level = {v: dict(s) for v, s in first_level.items()}
+        self.entries = entries
+        self.inserts = inserts
+        self.updates = updates
+        self.hits = hits
+
     def depth_of(self, source_path_id, dst_vertex):
         second_level = self._first_level.get(dst_vertex)
         if second_level is None:

@@ -49,3 +49,10 @@ class RpidAllocator:
         spid = make_source_path_id(self._base_machine, self._base_worker, self._next)
         self._next += 1
         return spid
+
+    # -- crash recovery (:mod:`repro.recovery`) -------------------------
+    def checkpoint_state(self):
+        return self._next
+
+    def restore_state(self, state):
+        self._next = state

@@ -133,6 +133,16 @@ class FlowControl:
             bucket = str(depth)
         return (self.machine_id, stage_idx, bucket)
 
+    # -- crash recovery (:mod:`repro.recovery`) -------------------------
+    def checkpoint_state(self):
+        """Snapshot of the mutable credit accounting."""
+        return (dict(self._in_flight), self._total_in_flight)
+
+    def restore_state(self, state):
+        in_flight, total = state
+        self._in_flight = dict(in_flight)
+        self._total_in_flight = total
+
     @property
     def in_flight(self):
         return self._total_in_flight

@@ -100,6 +100,70 @@ class Machine:
         if roots:
             self.tracker.record_bootstrap(len(roots))
 
+    # ------------------------------------------------------------------
+    # Crash recovery (:mod:`repro.recovery`)
+    # ------------------------------------------------------------------
+    def checkpoint_state(self):
+        """Value snapshot of all recoverable query state on this machine.
+
+        Covers the reachability-index shards, the termination counters
+        (the RPQ control depth counters ride ``tracker.sent/processed``
+        and ``max_depths``), the protocol view, flow-control credits,
+        absorbed/partial batches, worker job stacks, statistics, and the
+        output sink's emitted watermark.  Everything is value-copied so
+        the live run never mutates the snapshot.
+        """
+        return {
+            "tracker": self.tracker.checkpoint_state(),
+            "protocol": self.protocol.checkpoint_state(),
+            "flow": self.flow.checkpoint_state(),
+            "inbox": [(priority, batch.clone()) for priority, batch in self._inbox],
+            "absorbed": self._absorbed,
+            "open": {key: batch.clone() for key, batch in self._open.items()},
+            "blocked_reported": set(self._blocked_flush_reported),
+            "blocked_since": dict(self._blocked_since),
+            "bootstrap": tuple(self._bootstrap_queue),
+            "workers": [worker.checkpoint_state() for worker in self.workers],
+            "indexes": {
+                rpq_id: index.checkpoint_state()
+                for rpq_id, index in self.indexes.items()
+            },
+            "stats": self.stats.clone(),
+            "sink": self.output_sink.checkpoint_state(),
+        }
+
+    def restore_state(self, state, round_no, partition=None):
+        """Roll back to ``state`` *in place* (cross-references — the
+        controllers' tracker/index/stats handles — stay valid).
+
+        ``partition`` replaces the graph partition when the logical
+        machine was re-hosted: the new owner re-derives the partition
+        from the deterministic partitioner rather than recovering it.
+        """
+        if partition is not None:
+            self.partition = partition
+        self.tracker.restore_state(state["tracker"])
+        self.protocol.restore_state(state["protocol"])
+        self.flow.restore_state(state["flow"])
+        self._inbox = [
+            (priority, batch.clone()) for priority, batch in state["inbox"]
+        ]
+        heapq.heapify(self._inbox)
+        self._absorbed = state["absorbed"]
+        self._open = {key: batch.clone() for key, batch in state["open"].items()}
+        self._blocked_flush_reported = set(state["blocked_reported"])
+        self._blocked_since = dict(state["blocked_since"])
+        from collections import deque
+
+        self._bootstrap_queue = deque(state["bootstrap"])
+        for worker, wstate in zip(self.workers, state["workers"]):
+            worker.restore_state(wstate, partition=partition)
+        for rpq_id, index in self.indexes.items():
+            index.restore_state(state["indexes"][rpq_id])
+        self.stats.restore(state["stats"])
+        self.output_sink.restore_state(state["sink"])
+        self.current_round = round_no
+
     def pop_bootstrap_root(self):
         """Next unexplored bootstrap root, or ``None`` when exhausted."""
         if self._bootstrap_queue:
@@ -305,18 +369,20 @@ class Machine:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run_round(self, round_no, rng=None):
+    def run_round(self, round_no, rng=None, budget_scale=1.0):
         """Run one scheduler round; returns cost units consumed.
 
         With ``rng`` set (race-detector mode, ``config.schedule_seed``) the
         worker service order is permuted — the cooperative-scheduler
-        analogue of thread-interleaving perturbation.
+        analogue of thread-interleaving perturbation.  ``budget_scale``
+        shrinks the quantum when a physical host runs more than one
+        logical machine after partition failover (:mod:`repro.recovery`).
         """
         self.current_round = round_no
         workers = self.workers
         if rng is not None:
             workers = rng.sample(workers, len(workers))
-        budget_each = self.config.quantum / len(self.workers)
+        budget_each = (self.config.quantum * budget_scale) / len(self.workers)
         consumed = 0.0
         for worker in workers:
             consumed += worker.run(budget_each)

@@ -43,10 +43,31 @@ class Batch:
     # Reliable-transport sequence number, per (src, dst) link; assigned by
     # the network when reliable delivery is on, ``None`` otherwise.
     tseq: object = None
+    # Recovery epoch the frame was (last) sent in (:mod:`repro.recovery`).
+    # Stale copies queued before a recovery epoch bump are fenced at the
+    # receive path; frames replayed from a checkpoint are re-stamped.
+    epoch: int = 0
 
     def add(self, vertex, ctx):
         """Serialize one context into the batch (defensive copy)."""
         self.contexts.append((vertex, list(ctx)))
+
+    def clone(self):
+        """Deep-enough copy for checkpointing: contexts are duplicated so
+        the live run and the snapshot never share mutable state."""
+        new = Batch(
+            src_machine=self.src_machine,
+            dst_machine=self.dst_machine,
+            target_stage=self.target_stage,
+            depth=self.depth,
+            credit_key=self.credit_key,
+            contexts=[(vertex, list(ctx)) for vertex, ctx in self.contexts],
+        )
+        new.seq = self.seq
+        new.flow_id = self.flow_id
+        new.tseq = self.tseq
+        new.epoch = self.epoch
+        return new
 
     def __len__(self):
         return len(self.contexts)
@@ -69,6 +90,18 @@ class DoneMessage:
     credit_key: object = None
     seq: int = field(default_factory=lambda: next(_seq))
     tseq: object = None  # reliable-transport sequence number
+    epoch: int = 0  # recovery epoch (see Batch.epoch)
+
+    def clone(self):
+        new = DoneMessage(
+            src_machine=self.src_machine,
+            dst_machine=self.dst_machine,
+            credit_key=self.credit_key,
+        )
+        new.seq = self.seq
+        new.tseq = self.tseq
+        new.epoch = self.epoch
+        return new
 
 
 @dataclass
@@ -83,6 +116,21 @@ class StatusMessage:
     max_depths: dict = field(default_factory=dict)  # {rpq_id: max observed}
     seq: int = field(default_factory=lambda: next(_seq))
     tseq: object = None  # reliable-transport sequence number
+    epoch: int = 0  # recovery epoch (see Batch.epoch)
+
+    def clone(self):
+        new = StatusMessage(
+            src_machine=self.src_machine,
+            dst_machine=self.dst_machine,
+            generation=self.generation,
+            sent=dict(self.sent),
+            processed=dict(self.processed),
+            max_depths=dict(self.max_depths),
+        )
+        new.seq = self.seq
+        new.tseq = self.tseq
+        new.epoch = self.epoch
+        return new
 
 
 @dataclass
@@ -99,3 +147,4 @@ class AckMessage:
     acked_tseq: int = 0
     seq: int = field(default_factory=lambda: next(_seq))
     tseq: object = None  # ACKs themselves are never reliably delivered
+    epoch: int = 0  # recovery epoch (see Batch.epoch)

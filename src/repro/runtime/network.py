@@ -34,6 +34,11 @@ from .message import ACK_BYTES, AckMessage, Batch, CONTROL_BYTES, DoneMessage, S
 
 #: Retransmit backoff cap, in rounds of virtual time.
 MAX_RTO_ROUNDS = 64
+#: Retransmit attempts before a link gives up on a peer whose physical
+#: host is permanently down (and not failed over): the frame is dropped
+#: from the retransmit queue and counted in ``retx_exhausted`` instead of
+#: backing off forever against a machine that will never ack.
+MAX_RETX_ATTEMPTS = 8
 
 
 class SimulatedNetwork:
@@ -81,6 +86,18 @@ class SimulatedNetwork:
         # traffic, bypass fault verdicts and retransmit eagerly so the
         # post-run audit drains deterministically.
         self.settling = False
+        # --- crash-recovery state (:mod:`repro.recovery`) ----------------
+        # Current recovery epoch: every wire copy is stamped with the
+        # epoch at push time, and the receive path discards copies from
+        # older epochs (fencing stale in-flight traffic after a global
+        # rollback).  ``hosts`` is the logical->physical machine map
+        # maintained by the RecoveryManager (None = identity); machine
+        # ids in messages and queues stay *logical* across failover.
+        self.epoch = 0
+        self.hosts = None
+        # Logical machines moved to a surviving host: frames addressed to
+        # them are never abandoned (the new host will ack them).
+        self.rehosted = set()
         # --- transport / fault counters ---------------------------------
         self.retransmits = 0
         self.acks_sent = 0
@@ -89,12 +106,16 @@ class SimulatedNetwork:
         self.dup_suppressed = 0
         self.dropped = 0
         self.lost_in_crash = 0
+        self.fenced = 0  # stale-epoch copies discarded at the receive path
+        self.retx_exhausted = 0  # frames abandoned to a permanently-down peer
+        self.frames_replayed = 0  # frames restored into the retransmit queue
 
     # ------------------------------------------------------------------
     # Send path
     # ------------------------------------------------------------------
     def send(self, message, now_round):
         """Enqueue ``message`` for delivery to ``message.dst_machine``."""
+        message.epoch = self.epoch
         delay = self.delay
         if self.extra_delay_fn is not None:
             delay += int(self.extra_delay_fn(message))
@@ -144,8 +165,14 @@ class SimulatedNetwork:
             self._push(message.dst_machine, now_round + delay + extra + 1, message)
 
     def _push(self, dst, round_, message):
+        # The epoch is recorded per *copy* at push time (not on the shared
+        # message object): a frame replayed after a rollback gets fresh
+        # current-epoch copies while its stale pre-recovery copies, still
+        # queued, keep the old stamp and are fenced at the receive path.
         self._counter += 1
-        heapq.heappush(self._queues[dst], (round_, self._counter, message))
+        heapq.heappush(
+            self._queues[dst], (round_, self._counter, message, self.epoch)
+        )
 
     def _modelled_bytes(self, message):
         if isinstance(message, Batch):
@@ -166,7 +193,28 @@ class SimulatedNetwork:
         queue = self._queues[machine_id]
         out = []
         while queue and queue[0][0] <= now_round:
-            message = heapq.heappop(queue)[2]
+            _, _, message, copy_epoch = heapq.heappop(queue)
+            if copy_epoch < self.epoch:
+                # Stale in-flight copy from before a recovery rollback:
+                # fence it.  ACKs are fenced too — an old-epoch ACK must
+                # not retire a frame the rollback put back in flight.
+                self.fenced += 1
+                if self.obs is not None:
+                    self.obs.cluster_instant(
+                        "net.fenced",
+                        args={
+                            "dst": machine_id,
+                            "epoch": copy_epoch,
+                            "current": self.epoch,
+                        },
+                        round_no=now_round,
+                        cat="net",
+                    )
+                    self.obs.metrics.counter(
+                        "repro_net_fenced_total",
+                        "stale-epoch message copies fenced after recovery",
+                    ).labels().inc()
+                continue
             if isinstance(message, AckMessage):
                 self.acks_received += 1
                 self._outstanding.pop(
@@ -194,6 +242,12 @@ class SimulatedNetwork:
         )
         self._transmit(ack, now_round, self.delay)
 
+    def _host_of(self, logical):
+        """Physical host currently running logical machine ``logical``."""
+        if self.hosts is None:
+            return logical
+        return self.hosts[logical]
+
     # ------------------------------------------------------------------
     # Retransmit timer (driven once per scheduler round)
     # ------------------------------------------------------------------
@@ -207,15 +261,45 @@ class SimulatedNetwork:
                 entry[3] = now_round  # fast-drain: no point waiting
             if entry[3] > now_round:
                 continue
-            src = key[0]
+            src, dst = key[0], key[1]
             if (
                 self.faults is not None
                 and not self.settling
-                and not self.faults.machine_up(src, now_round)
+                and not self.faults.machine_up(self._host_of(src), now_round)
             ):
                 # A down machine cannot retransmit; push the deadline so
                 # it retries promptly after recovery.
                 entry[3] = now_round + 1
+                continue
+            if (
+                self.faults is not None
+                and not self.settling
+                and dst not in self.rehosted
+                and dst in self.faults.permanent_machines
+                and not self.faults.machine_up(self._host_of(dst), now_round)
+                and entry[1] >= MAX_RETX_ATTEMPTS
+            ):
+                # The peer is permanently down with no failover in place:
+                # give up on the link instead of backing off forever.
+                del self._outstanding[key]
+                self.retx_exhausted += 1
+                if self.obs is not None:
+                    self.obs.cluster_instant(
+                        "net.retx_exhausted",
+                        args={"src": src, "dst": dst, "tseq": key[2]},
+                        round_no=now_round,
+                        cat="net",
+                    )
+                    self.obs.metrics.counter(
+                        "repro_net_retx_exhausted_total",
+                        "frames abandoned to permanently-down peers",
+                    ).labels().inc()
+                if self.sanitizer is not None:
+                    self.sanitizer.note(
+                        "retx_exhausted",
+                        f"link {src}->{dst} gave up on tseq {key[2]} after "
+                        f"{entry[1]} attempts (peer permanently down)",
+                    )
                 continue
             message, attempts, rto, _ = entry
             entry[1] = attempts + 1
@@ -239,6 +323,44 @@ class SimulatedNetwork:
                     "repro_net_retransmits_total",
                     "reliable-transport retransmissions",
                 ).labels().inc()
+
+    # ------------------------------------------------------------------
+    # Crash recovery (:mod:`repro.recovery`)
+    # ------------------------------------------------------------------
+    def checkpoint_state(self):
+        """Transport endpoint state: tseq counters, unacked frames, and
+        the receiver dedup ledger.
+
+        The in-flight queues are deliberately *not* checkpointed: every
+        frame undelivered at checkpoint time is still in ``_outstanding``
+        and will be replayed from there after a rollback, while frames
+        already accepted are suppressed by the restored ``_delivered``
+        set.  Queued copies from the doomed epoch are fenced on receive.
+        """
+        return {
+            "next_tseq": dict(self._next_tseq),
+            "outstanding": {
+                key: entry[0].clone() for key, entry in self._outstanding.items()
+            },
+            "delivered": set(self._delivered),
+        }
+
+    def restore_state(self, state, now_round):
+        """Roll the transport back to a checkpoint and arm the replay.
+
+        Every restored unacked frame is re-stamped with the *current*
+        (post-recovery) epoch and its retransmit timer reset to fire
+        immediately — this is the exactly-once replay: the ARQ queue is
+        the redo log.
+        """
+        self._next_tseq = dict(state["next_tseq"])
+        self._outstanding = {}
+        for key, message in state["outstanding"].items():
+            replayed = message.clone()
+            replayed.epoch = self.epoch
+            self._outstanding[key] = [replayed, 0, self._base_rto, now_round]
+        self._delivered = set(state["delivered"])
+        self.frames_replayed += len(self._outstanding)
 
     # ------------------------------------------------------------------
     # Machine-crash hook
@@ -265,7 +387,7 @@ class SimulatedNetwork:
     def pending_kinds(self):
         counts = {"batch": 0, "done": 0, "status": 0}
         for queue in self._queues:
-            for _, _, message in queue:
+            for _, _, message, _ in queue:
                 if isinstance(message, Batch):
                     counts["batch"] += 1
                 elif isinstance(message, DoneMessage):
@@ -301,4 +423,7 @@ class SimulatedNetwork:
             "dropped": self.dropped,
             "lost_in_crash": self.lost_in_crash,
             "unacked": len(self._outstanding),
+            "fenced": self.fenced,
+            "retx_exhausted": self.retx_exhausted,
+            "frames_replayed": self.frames_replayed,
         }

@@ -71,9 +71,11 @@ class QueryExecution:
             sanitizer=self.sanitizer,
         )
         # Partial-results epilogue state: set when a permanently-down
-        # machine keeps the termination protocol from ever concluding.
+        # machine keeps the termination protocol from ever concluding
+        # (recovery off), or when the run hits the virtual-clock deadline.
         self.partial = False
         self.down_machines = ()
+        self.timed_out = False
         self._sched_rng = (
             random.Random(config.schedule_seed)
             if config.schedule_seed is not None
@@ -88,6 +90,25 @@ class QueryExecution:
             )
             for m in range(config.num_machines)
         ]
+        # Crash recovery: checkpoint/failover/replay coordinator.  Only
+        # meaningful under fault injection — without an injector nothing
+        # can crash, so the manager (and its checkpoints) is skipped.
+        if config.recovery and self.injector is not None:
+            from ..recovery import RecoveryManager  # deferred: import cycle
+
+            self.recovery = RecoveryManager(
+                self.machines, self.network, dgraph, self.injector,
+                sanitizer=self.sanitizer, obs=recorder,
+            )
+        else:
+            self.recovery = None
+
+    def _machine_up(self, logical, round_no):
+        """Availability of the *host* currently running ``logical``."""
+        if self.injector is None:
+            return True
+        host = logical if self.recovery is None else self.recovery.hosts[logical]
+        return self.injector.machine_up(host, round_no)
 
     def run(self):
         """Run to termination; returns :class:`RunStats`."""
@@ -102,6 +123,10 @@ class QueryExecution:
         stall_limit = self.config.stall_limit
         if obs is not None:
             obs.cluster_instant("query.start", args={"stages": len(self.plan.stages)})
+        if self.recovery is not None:
+            # Initial checkpoint before round 1: a crash during depth-0
+            # bootstrap rolls back to the pristine pre-query state.
+            self.recovery.checkpoint(0, "initial")
         while True:
             round_no += 1
             if round_no > self.config.max_rounds:
@@ -109,19 +134,55 @@ class QueryExecution:
                     f"exceeded max_rounds={self.config.max_rounds} "
                     "(runaway query or configuration too tight)"
                 )
+            if (
+                self.config.deadline is not None
+                and round_no > self.config.deadline
+            ):
+                # Virtual-clock deadline: abort cleanly with whatever the
+                # machines produced so far, flagged incomplete+timed out.
+                self.partial = True
+                self.timed_out = True
+                if injector is not None:
+                    self.down_machines = injector.permanent_down(round_no)
+                if obs is not None:
+                    obs.cluster_instant(
+                        "scheduler.deadline",
+                        args={"deadline": self.config.deadline, "round": round_no},
+                        round_no=round_no,
+                    )
+                break
             if obs is not None:
                 obs.begin_round(round_no)
             if injector is not None:
-                for crashed in injector.begin_round(round_no):
-                    # A crash loses everything sitting in the machine's
-                    # network RX buffers; durable machine state survives
-                    # (fail-recover).  Reliable senders still hold the
-                    # frames and will retransmit.
-                    self.network.lose_queue(crashed)
+                crashed = injector.begin_round(round_no)
+                for host in crashed:
+                    # A crash loses everything sitting in the host's
+                    # network RX buffers — for every logical machine it
+                    # runs; durable machine state survives (fail-recover).
+                    # Reliable senders still hold the frames and will
+                    # retransmit.
+                    hosted = (
+                        (host,)
+                        if self.recovery is None
+                        else self.recovery.hosted_on(host)
+                    )
+                    for logical in hosted:
+                        self.network.lose_queue(logical)
+                if self.recovery is not None and crashed:
+                    permanent_dead = [
+                        host
+                        for host in crashed
+                        if host in injector.permanent_machines
+                    ]
+                    if self.recovery.recover(permanent_dead, round_no) is not None:
+                        # The global rollback may rewind conclusions:
+                        # re-sync the scheduler's view of who concluded
+                        # and reset the progress clock for the replay.
+                        for machine in self.machines:
+                            concluded[machine.id] = machine.protocol.concluded
+                        last_progress = round_no
             for machine in self.machines:
-                if injector is not None and not injector.machine_up(
-                    machine.id, round_no
-                ):
+                if not self._machine_up(machine.id, round_no):
                     continue  # messages wait in the network
                 machine.deliver(self.network.drain(machine.id, round_no))
             rng = self._sched_rng
@@ -137,12 +198,15 @@ class QueryExecution:
             progress = 0.0
             per_machine = [0.0] * len(self.machines)
             for machine in service_order:
-                if injector is not None and not injector.machine_up(
-                    machine.id, round_no
-                ):
+                if not self._machine_up(machine.id, round_no):
                     machine.stats.stalled_rounds += 1
                     continue
-                consumed = machine.run_round(round_no, rng=rng)
+                scale = (
+                    1.0
+                    if self.recovery is None
+                    else self.recovery.budget_scale(machine.id)
+                )
+                consumed = machine.run_round(round_no, rng=rng, budget_scale=scale)
                 per_machine[machine.id] = consumed
                 progress += consumed
             if self.network.reliable:
@@ -153,9 +217,7 @@ class QueryExecution:
                 obs.record_round(round_no, per_machine)
             if round_no % status_interval == 0:
                 for machine in self.machines:
-                    if injector is not None and not injector.machine_up(
-                        machine.id, round_no
-                    ):
+                    if not self._machine_up(machine.id, round_no):
                         continue  # a down machine broadcasts nothing
                     machine.broadcast_status(round_no)
                 if self.sanitizer is not None:
@@ -164,9 +226,7 @@ class QueryExecution:
                     )
                 done = True
                 for machine in self.machines:
-                    if injector is not None and not injector.machine_up(
-                        machine.id, round_no
-                    ):
+                    if not self._machine_up(machine.id, round_no):
                         done = done and concluded[machine.id]
                         continue
                     if not concluded[machine.id]:
@@ -184,6 +244,10 @@ class QueryExecution:
                             round_no=round_no,
                         )
                     break
+                if self.recovery is not None:
+                    # Checkpoint cadence rides the termination protocol:
+                    # cut one whenever new channels terminated globally.
+                    self.recovery.maybe_checkpoint(round_no)
             if progress > 0.0:
                 last_progress = round_no
                 quiescent_round = None
@@ -204,6 +268,14 @@ class QueryExecution:
                         if injector is not None
                         else ()
                     )
+                    if self.recovery is not None:
+                        # Failed-over hosts are handled, not lost: they
+                        # must not trigger the partial-results path.
+                        permanent = tuple(
+                            m
+                            for m in permanent
+                            if m not in self.recovery.failed_over
+                        )
                     if permanent:
                         # A machine that never comes back: give up on its
                         # share of the work and return what the survivors
@@ -243,6 +315,10 @@ class QueryExecution:
                 self.network.transport_summary() if self.network.reliable else None
             ),
             fault_events=injector.summary() if injector is not None else None,
+            recovery=(
+                self.recovery.summary() if self.recovery is not None else None
+            ),
+            timed_out=self.timed_out,
         )
 
     def _settle_and_audit(self, round_no):

@@ -53,6 +53,25 @@ class MachineStats:
         self.stalled_rounds = 0
         self.cost_units = 0.0
 
+    # -- crash recovery (:mod:`repro.recovery`) --------------------------
+    def clone(self):
+        """Value copy for checkpoints (Counters and dicts duplicated)."""
+        new = MachineStats()
+        for name, value in self.__dict__.items():
+            if isinstance(value, Counter):
+                value = Counter(value)
+            elif isinstance(value, dict):
+                value = {k: Counter(v) for k, v in value.items()}
+            setattr(new, name, value)
+        return new
+
+    def restore(self, snapshot):
+        """Roll this object back to ``snapshot`` *in place*, keeping every
+        reference to it (controllers, trackers, sinks) valid."""
+        fresh = snapshot.clone()
+        self.__dict__.clear()
+        self.__dict__.update(fresh.__dict__)
+
     # -- helpers ---------------------------------------------------------
     def record_control_match(self, rpq_id, depth):
         self.control_matches.setdefault(rpq_id, Counter())[depth] += 1
@@ -79,6 +98,8 @@ class RunStats:
         down_machines=(),
         transport=None,
         fault_events=None,
+        recovery=None,
+        timed_out=False,
     ):
         self.per_machine = machine_stats
         self.rounds = rounds
@@ -99,6 +120,12 @@ class RunStats:
         self.down_machines = tuple(down_machines)
         self.transport = transport
         self.fault_events = fault_events
+        # Crash-recovery epilogue (:mod:`repro.recovery`): the manager's
+        # summary dict (checkpoints, recoveries, host map, replay volume)
+        # when recovery was enabled, else None.  ``timed_out`` is True when
+        # ``EngineConfig.deadline`` expired before the protocol concluded.
+        self.recovery = recovery
+        self.timed_out = timed_out
 
     # -- aggregation helpers ----------------------------------------------
     def _sum(self, attr):
@@ -221,8 +248,12 @@ class RunStats:
         if self.partial:
             out["partial"] = True
             out["down_machines"] = list(self.down_machines)
+        if self.timed_out:
+            out["timed_out"] = True
         if self.fault_events is not None:
             out["fault_events"] = dict(self.fault_events)
         if self.transport is not None:
             out["transport"] = dict(self.transport)
+        if self.recovery is not None:
+            out["recovery"] = dict(self.recovery)
         return out

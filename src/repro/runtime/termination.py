@@ -67,6 +67,22 @@ class TerminationTracker:
         if depth > self.max_depths.get(rpq_id, -1):
             self.max_depths[rpq_id] = depth
 
+    # -- crash recovery (:mod:`repro.recovery`) -------------------------
+    def checkpoint_state(self):
+        return (
+            Counter(self.sent),
+            Counter(self.processed),
+            dict(self.max_depths),
+            self.generation,
+        )
+
+    def restore_state(self, state):
+        sent, processed, max_depths, generation = state
+        self.sent = Counter(sent)
+        self.processed = Counter(processed)
+        self.max_depths = dict(max_depths)
+        self.generation = generation
+
     def snapshot(self, dst_machine):
         """Build a STATUS message with the current counter state."""
         if self._san is not None:
@@ -206,6 +222,29 @@ class TerminationProtocol:
         self._candidate = None  # (gen_vector, sent_totals, processed_totals)
         self.concluded = False
         self.last_terminated_keys = set()
+
+    # -- crash recovery (:mod:`repro.recovery`) -------------------------
+    def checkpoint_state(self):
+        candidate = self._candidate
+        if candidate is not None:
+            gen_vector, (sent, processed) = candidate
+            candidate = (gen_vector, (dict(sent), dict(processed)))
+        return {
+            "views": {mid: msg.clone() for mid, msg in self.views.items()},
+            "candidate": candidate,
+            "concluded": self.concluded,
+            "terminated": set(self.last_terminated_keys),
+        }
+
+    def restore_state(self, state):
+        self.views = {mid: msg.clone() for mid, msg in state["views"].items()}
+        candidate = state["candidate"]
+        if candidate is not None:
+            gen_vector, (sent, processed) = candidate
+            candidate = (gen_vector, (dict(sent), dict(processed)))
+        self._candidate = candidate
+        self.concluded = state["concluded"]
+        self.last_terminated_keys = set(state["terminated"])
 
     def on_status(self, message):
         current = self.views.get(message.src_machine)

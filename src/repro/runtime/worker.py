@@ -64,6 +64,23 @@ class Frame:
         self.pos = 0
         self.entry_mode = entry_mode
 
+    def clone(self):
+        """Copy for checkpointing (:mod:`repro.recovery`).
+
+        ``runs`` holds ``(csr, lo, hi)`` tuples referencing the shared
+        immutable CSR arrays — the tuples are copied, the CSRs are not.
+        """
+        new = Frame(self.stage_idx, self.vertex, self.entry_mode)
+        new.phase = self.phase
+        new.undo = list(self.undo)
+        actions = self.actions
+        new.actions = list(actions) if isinstance(actions, list) else actions
+        new.action_pos = self.action_pos
+        new.runs = list(self.runs) if self.runs is not None else None
+        new.run_idx = self.run_idx
+        new.pos = self.pos
+        return new
+
 
 class Job:
     """A unit of work: a bootstrap root or a received batch."""
@@ -76,6 +93,24 @@ class Job:
         self.next_context = 0
         self.ctx = ctx
         self.stack = []
+
+    def clone(self):
+        """Copy for checkpointing (:mod:`repro.recovery`).
+
+        For batch jobs ``ctx`` aliases the current entry of
+        ``batch.contexts`` (mutated in place by the DFT), so the clone's
+        ``ctx`` must alias the *cloned* batch's entry, not a fresh list.
+        """
+        new = Job(self.kind)
+        new.next_context = self.next_context
+        new.stack = [frame.clone() for frame in self.stack]
+        if self.kind == "batch":
+            new.batch = self.batch.clone()
+            if self.ctx is not None and 0 < self.next_context <= len(new.batch.contexts):
+                new.ctx = new.batch.contexts[self.next_context - 1][1]
+        elif self.ctx is not None:
+            new.ctx = list(self.ctx)
+        return new
 
 
 class Worker:
@@ -119,6 +154,25 @@ class Worker:
             consumed += cost
             obs.advance(machine_id, cost)
         return consumed
+
+    # ------------------------------------------------------------------
+    # Crash recovery (:mod:`repro.recovery`)
+    # ------------------------------------------------------------------
+    def checkpoint_state(self):
+        return (
+            [job.clone() for job in self.jobs],
+            self.blocked,
+            self.rpid_alloc.checkpoint_state(),
+        )
+
+    def restore_state(self, state, partition=None):
+        jobs, blocked, rpid_state = state
+        self.jobs = [job.clone() for job in jobs]
+        self.blocked = blocked
+        self.rpid_alloc.restore_state(rpid_state)
+        if partition is not None:
+            self.partition = partition
+            self.state.partition = partition
 
     @property
     def idle(self):
