@@ -1,0 +1,96 @@
+"""Multi-query throughput: the concurrent runtime vs back-to-back solo runs.
+
+The paper's cluster is shared infrastructure; RPQd queries leave quantum
+idle in message-latency bubbles and narrow frontiers, so interleaving
+several queries on the same machines (``Session.submit``) should finish a
+workload in fewer global rounds than running them one after another.  This
+bench sweeps the admission limit over 1/2/4/8 concurrent queries, reports
+workload makespan and throughput, and asserts the concurrency-4 speedup the
+runtime is designed around (>1.5x) — while checking every concurrent result
+set stays bit-identical to its solo run.
+"""
+
+import pytest
+
+from repro import connect
+from repro.bench import format_table
+from repro.datagen import BENCHMARK_QUERIES
+
+CONCURRENCY = [1, 2, 4, 8]
+
+
+@pytest.fixture(scope="module")
+def sweep(ldbc):
+    graph, info = ldbc
+    queries = {name: fn(info) for name, fn in BENCHMARK_QUERIES.items()}
+
+    solo_session = connect(graph, num_machines=4)
+    solo_rows = {}
+    sequential_makespan = 0
+    for name, text in queries.items():
+        result = solo_session.execute(text)
+        solo_rows[name] = result.rows
+        sequential_makespan += result.stats.rounds
+
+    runs = {}
+    for limit in CONCURRENCY:
+        session = connect(
+            graph, num_machines=4,
+            max_concurrent_queries=limit,
+            admission_queue_limit=len(queries),
+        )
+        handles = {name: session.submit(text) for name, text in queries.items()}
+        session.drain()
+        identical = all(
+            handles[name].result().rows == solo_rows[name] for name in queries
+        )
+        runs[limit] = {
+            "makespan": session.cluster_rounds,
+            "identical": identical,
+        }
+    return sequential_makespan, runs, len(queries)
+
+
+def test_concurrency_report(sweep, report):
+    sequential_makespan, runs, num_queries = sweep
+    rows = []
+    for limit in CONCURRENCY:
+        makespan = runs[limit]["makespan"]
+        rows.append(
+            [
+                limit,
+                makespan,
+                num_queries / makespan,
+                sequential_makespan / makespan,
+                "yes" if runs[limit]["identical"] else "NO",
+            ]
+        )
+    text = format_table(
+        ["concurrency", "makespan", "queries/round", "speedup", "identical"],
+        rows,
+        title=(
+            "Multi-query runtime: workload makespan vs sequential "
+            f"({num_queries} queries, {sequential_makespan} sequential rounds)"
+        ),
+    )
+    report("concurrency", text)
+
+
+def test_concurrent_results_identical_to_solo(sweep):
+    _, runs, _ = sweep
+    assert all(runs[limit]["identical"] for limit in CONCURRENCY)
+
+
+def test_concurrency_4_beats_sequential(sweep):
+    sequential_makespan, runs, _ = sweep
+    assert sequential_makespan / runs[4]["makespan"] > 1.5
+
+
+def test_speedup_grows_then_saturates(sweep):
+    # More admission slots never hurt makespan, and the single-slot
+    # concurrent run degenerates to (roughly) the sequential schedule.
+    sequential_makespan, runs, _ = sweep
+    assert runs[1]["makespan"] <= sequential_makespan + 8
+    assert runs[2]["makespan"] <= runs[1]["makespan"]
+    assert runs[4]["makespan"] <= runs[2]["makespan"]
+    assert runs[8]["makespan"] <= runs[4]["makespan"]

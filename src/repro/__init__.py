@@ -3,48 +3,73 @@
 
 Public API highlights:
 
+* :func:`repro.connect` — open a :class:`repro.Session` on a graph: blocking
+  ``execute()`` plus concurrent ``submit()`` returning
+  :class:`repro.QueryHandle` futures that interleave on one simulated
+  cluster;
 * :class:`repro.graph.GraphBuilder` / :class:`repro.graph.PropertyGraph` —
   build labelled property graphs;
-* :class:`repro.RPQdEngine` — the distributed asynchronous RPQ engine
-  (simulated cluster, the paper's contribution);
 * :class:`repro.EngineConfig` — cluster/flow-control configuration;
+* :class:`repro.RPQdEngine` — the pre-session engine facade (deprecated,
+  delegates to a Session);
 * :mod:`repro.baselines` — Neo4j-like BFT and PostgreSQL-like recursive
   baselines over the same PGQL front end;
 * :mod:`repro.datagen` — LDBC-SNB-like synthetic graphs and the paper's
   benchmark queries.
 """
 
-from .config import CostModel, EngineConfig
+from .config import (
+    CostModel,
+    EngineConfig,
+    FaultConfig,
+    FlowConfig,
+    ObsConfig,
+    RecoveryConfig,
+)
 from .engine import QueryResult, RPQdEngine, ResultSet, witness_path
 from .errors import (
+    AdmissionError,
     ConfigError,
     ExecutionError,
     FlowControlDeadlock,
     GraphError,
     PgqlSyntaxError,
     PlanningError,
+    QueryCancelledError,
     ReproError,
+    SessionClosedError,
 )
 from .graph import Direction, GraphBuilder, PropertyGraph
+from .session import QueryHandle, Session, connect
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AdmissionError",
     "ConfigError",
     "CostModel",
     "Direction",
     "EngineConfig",
     "ExecutionError",
+    "FaultConfig",
+    "FlowConfig",
     "FlowControlDeadlock",
     "GraphBuilder",
     "GraphError",
+    "ObsConfig",
     "PgqlSyntaxError",
     "PlanningError",
     "PropertyGraph",
+    "QueryCancelledError",
+    "QueryHandle",
     "QueryResult",
     "RPQdEngine",
+    "RecoveryConfig",
     "ReproError",
     "ResultSet",
+    "Session",
+    "SessionClosedError",
     "__version__",
+    "connect",
     "witness_path",
 ]

@@ -60,12 +60,12 @@ def run_schedule_sweep(graph, queries, num_schedules=20, config=None, seeds=None
     set exactly (as a sorted multiset of rows).
     """
     from ..config import EngineConfig
-    from ..engine import RPQdEngine
+    from ..session import Session
 
     config = config or EngineConfig()
     if seeds is None:
         seeds = list(range(1, num_schedules + 1))
-    engine = RPQdEngine(graph, config.with_(schedule_seed=None))
+    engine = Session(graph, config.with_(schedule_seed=None))
     reports = []
     for query in queries:
         baseline = _canonical_rows(engine.execute(query))

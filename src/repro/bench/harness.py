@@ -13,7 +13,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..config import EngineConfig
-from ..engine import RPQdEngine
+from ..session import Session
 
 
 @dataclass
@@ -93,7 +93,7 @@ def rpqd_executor(graph, machines, quantum=400.0, observe=False, **overrides):
     recorder only adds wall-clock overhead.
     """
     config = EngineConfig(num_machines=machines, quantum=quantum, **overrides)
-    engine = RPQdEngine(graph, config)
+    engine = Session(graph, config)
 
     def execute(query_text):
         return engine.execute(query_text, observe=True if observe else None)

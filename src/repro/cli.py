@@ -8,7 +8,10 @@ Subcommands:
 * ``explain`` — print the distributed plan for a query;
 * ``workload`` — run the paper's nine benchmark queries on a generated
   graph and print a latency table (``--json`` for machine-readable rows,
-  ``--timeline`` for per-query ASCII utilization timelines);
+  ``--timeline`` for per-query ASCII utilization timelines;
+  ``--concurrency N`` interleaves all nine on one shared cluster through
+  the multi-query scheduler and verifies result sets match sequential
+  execution, reporting the aggregate makespan of both);
 * ``trace`` — validate and pretty-print a trace file produced by
   ``query --trace-out`` (Chrome trace JSON or JSONL event log);
 * ``analyze`` — static analysis: the repo-specific protocol lint rules
@@ -37,8 +40,8 @@ import sys
 from .baselines import BftEngine, RecursiveEngine
 from .bench.reporting import format_table
 from .config import EngineConfig
-from .engine import RPQdEngine
 from .graph.loader import load_graph, save_graph
+from .session import Session, connect
 
 
 def _add_engine_args(parser):
@@ -87,7 +90,7 @@ def _make_engine(args, graph):
         use_reachability_index=not args.no_index,
         **overrides,
     )
-    return RPQdEngine(graph, config)
+    return Session(graph, config)
 
 
 def cmd_generate(args):
@@ -178,8 +181,8 @@ def _export_observed(result, engine, trace_out, metrics_out):
 
 def cmd_explain(args):
     graph = load_graph(args.graph)
-    engine = RPQdEngine(graph, EngineConfig(num_machines=args.machines))
-    print(engine.explain(args.query))
+    session = connect(graph, num_machines=args.machines)
+    print(session.explain(args.query))
     return 0
 
 
@@ -235,6 +238,8 @@ def cmd_workload(args):
     from .datagen import BENCHMARK_QUERIES, mini_ldbc
 
     graph, info = mini_ldbc(args.scale, seed=args.seed)
+    if getattr(args, "concurrency", 0) and args.concurrency > 1:
+        return _workload_concurrent(args, graph, info, BENCHMARK_QUERIES)
     overrides = {}
     if getattr(args, "faults", None):
         from .faults import FaultPlan
@@ -245,7 +250,7 @@ def cmd_workload(args):
     if getattr(args, "deadline", None):
         overrides["deadline"] = args.deadline
     engines = {
-        "rpqd": RPQdEngine(
+        "rpqd": Session(
             graph, EngineConfig(num_machines=args.machines, **overrides)
         ),
         "bft": BftEngine(graph),
@@ -314,6 +319,108 @@ def cmd_workload(args):
     for name, trace in timelines:
         print(f"\n{name} timeline (rpqd, {args.machines} machines):", file=out)
         print(trace.render_timeline(), file=out)
+    return 0
+
+
+def _workload_concurrent(args, graph, info, benchmark_queries):
+    """``workload --concurrency N``: the nine queries through the shared
+    cluster scheduler, checked row-for-row against sequential execution.
+
+    Runs every query solo first (the baseline: their makespans *sum*,
+    since sequential queries own the cluster back to back), then submits
+    them all onto one :class:`~repro.runtime.multi.ClusterScheduler` with
+    ``max_concurrent_queries=N`` and compares result sets.  Any divergence
+    is a determinism bug and exits 1.
+    """
+    if getattr(args, "faults", None) or getattr(args, "recover", False):
+        print(
+            "error: --concurrency does not support --faults/--recover "
+            "(fault injection assumes exclusive cluster ownership)",
+            file=sys.stderr,
+        )
+        return 2
+    session = connect(
+        graph,
+        num_machines=args.machines,
+        max_concurrent_queries=args.concurrency,
+        sanitize=getattr(args, "sanitize", False),
+    )
+    queries = [
+        (name, build(info)) for name, build in benchmark_queries.items()
+    ]
+    sequential = {}
+    sequential_makespan = 0
+    for name, query in queries:
+        result = session.execute(query)
+        sequential[name] = result
+        sequential_makespan += result.stats.rounds
+    handles = [(name, session.submit(query)) for name, query in queries]
+    session.drain()
+    concurrent_makespan = session.cluster_rounds
+    speedup = (
+        sequential_makespan / concurrent_makespan if concurrent_makespan else 0.0
+    )
+    rows = []
+    records = []
+    identical = True
+    for name, handle in handles:
+        result = handle.result()
+        match = result.rows == sequential[name].rows
+        identical = identical and match
+        rows.append(
+            [
+                name,
+                round(sequential[name].stats.rounds, 1),
+                round(result.stats.rounds, 1),
+                "yes" if match else "NO",
+            ]
+        )
+        records.append(
+            {
+                "query": name,
+                "solo_rounds": sequential[name].stats.rounds,
+                "concurrent_rounds": result.stats.rounds,
+                "rows": len(result.rows),
+                "identical": match,
+            }
+        )
+    if args.json:
+        print(json.dumps({
+            "scale": args.scale,
+            "seed": args.seed,
+            "machines": args.machines,
+            "concurrency": args.concurrency,
+            "latency_unit": "virtual rounds",
+            "sequential_makespan": sequential_makespan,
+            "concurrent_makespan": concurrent_makespan,
+            "speedup": round(speedup, 3),
+            "identical": identical,
+            "plan_cache": {
+                "hits": session.plan_cache.hits,
+                "misses": session.plan_cache.misses,
+            },
+            "results": records,
+        }, indent=2))
+    else:
+        print(
+            format_table(
+                ["query", "solo rounds", "concurrent rounds", "identical"],
+                rows,
+                title=f"paper workload, {args.concurrency}-way concurrent on "
+                f"{args.machines} machines (scale {args.scale!r})",
+            )
+        )
+        print(
+            f"-- makespan: {concurrent_makespan} rounds concurrent vs "
+            f"{sequential_makespan} sequential ({speedup:.2f}x)"
+        )
+    if not identical:
+        print(
+            "-- CONCURRENCY DIVERGENCE: concurrent result sets differ from "
+            "sequential execution (determinism bug)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -513,6 +620,20 @@ def build_parser():
         type=int,
         metavar="ROUNDS",
         help="abort each rpqd query after this many virtual rounds",
+    )
+    p.add_argument(
+        "--concurrency",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run all nine queries concurrently (N at a time) on one "
+        "shared cluster and verify result sets match sequential execution",
+    )
+    p.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run under the protocol sanitizer (with --concurrency, every "
+        "interleaved query gets its own sanitizer)",
     )
     p.set_defaults(func=cmd_workload)
 

@@ -8,7 +8,7 @@ depth, and preallocate contexts up to depth three.  We keep the same knobs
 but size them for mini graphs so that flow control actually engages.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import Optional
 
 from .errors import ConfigError
@@ -40,6 +40,62 @@ class CostModel:
     index_hit: float = 2.5  # probe finding an existing entry
     output: float = 1.0
     termination_status: float = 2.0
+
+
+@dataclass(frozen=True)
+class FlowConfig:
+    """Flow-control knobs as one group (paper Section 3.3).
+
+    Pass as ``EngineConfig(flow=FlowConfig(...))``; each field expands to
+    the flat ``EngineConfig`` field of the same name.  The group view of an
+    existing config is ``config.flow_config``.
+    """
+
+    batch_size: int = 32
+    buffers_per_machine: int = 512
+    buffer_bytes: int = 256 * 1024
+    rpq_flow_depth: int = 4
+    rpq_shared_credits: int = 5
+    rpq_overflow_per_depth: int = 1
+    context_prealloc_depth: int = 3
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Observability/analysis instrumentation as one group.
+
+    Pass as ``EngineConfig(obs=ObsConfig(...))``; regrouped view:
+    ``config.obs_config``.
+    """
+
+    observe: bool = False
+    sanitize: bool = False
+    schedule_seed: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault injection and reliable transport as one group.
+
+    Pass as ``EngineConfig(fault=FaultConfig(...))``; regrouped view:
+    ``config.fault_config``.
+    """
+
+    faults: Optional[object] = None
+    reliable_transport: Optional[bool] = None
+    retransmit_timeout_rounds: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Crash recovery and the virtual-clock deadline as one group.
+
+    Pass as ``EngineConfig(resilience=RecoveryConfig(...))``; regrouped
+    view: ``config.recovery_config``.
+    """
+
+    recovery: bool = False
+    deadline: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -131,6 +187,17 @@ class EngineConfig:
             of running unbounded under a pathological fault plan.
         max_rounds: safety cap on scheduler rounds before declaring a
             deadlock.
+        max_concurrent_queries: queries the multi-query runtime
+            (:mod:`repro.runtime.multi`) interleaves on the cluster at
+            once; further submissions queue.
+        admission_queue_limit: bounded pending-queue length for submissions
+            beyond the concurrency limit; past it ``submit`` raises
+            :class:`~repro.errors.AdmissionError`.
+        flow / obs / fault / resilience: optional grouped construction —
+            :class:`FlowConfig`, :class:`ObsConfig`, :class:`FaultConfig`,
+            :class:`RecoveryConfig` objects whose fields expand into the
+            flat fields of the same names (flat kwargs keep working; a
+            disagreeing flat kwarg is a :class:`~repro.errors.ConfigError`).
         cost: the virtual-time cost model.
         seed: seed for any randomized tie-breaking (kept deterministic).
     """
@@ -167,17 +234,72 @@ class EngineConfig:
     # Plan with sampled "scouting" probes instead of static selectivity
     # heuristics (the paper's cited scouting-queries planning technique).
     scouting: bool = False
+    # Multi-query runtime (:mod:`repro.runtime.multi`): how many queries may
+    # run interleaved on the cluster at once, and how many more submissions
+    # the bounded admission queue holds before rejecting with
+    # :class:`repro.errors.AdmissionError`.
+    max_concurrent_queries: int = 4
+    admission_queue_limit: int = 16
+    # Grouped construction sugar: each accepts a sub-config object whose
+    # fields expand into the flat fields of the same names (so old flat
+    # kwargs keep working unchanged).  A flat kwarg that *conflicts* with
+    # its group's value is a ConfigError; the group attributes themselves
+    # are reset to None after expansion (the flat fields stay the source
+    # of truth — regroup via flow_config / obs_config / fault_config /
+    # recovery_config).
+    flow: Optional[FlowConfig] = None
+    obs: Optional[ObsConfig] = None
+    fault: Optional[FaultConfig] = None
+    resilience: Optional[RecoveryConfig] = None
     max_rounds: int = 2_000_000
     cost: CostModel = field(default_factory=CostModel)
     seed: int = 42
 
+    def _expand_group(self, group_name, group_cls):
+        """Fold one sub-config's fields into the flat fields, then drop it.
+
+        A flat kwarg set to a non-default value that *disagrees* with the
+        group is ambiguous and rejected, naming both values.
+        """
+        group = getattr(self, group_name)
+        if group is None:
+            return
+        if not isinstance(group, group_cls):
+            raise ConfigError(
+                f"{group_name} must be a {group_cls.__name__} or None "
+                f"(got {group!r})"
+            )
+        for f in dataclass_fields(group):
+            value = getattr(group, f.name)
+            current = getattr(self, f.name)
+            flat_default = type(self).__dataclass_fields__[f.name].default
+            if current != flat_default and current != value:
+                raise ConfigError(
+                    f"conflicting values for {f.name!r}: flat kwarg "
+                    f"{current!r} vs {group_name}="
+                    f"{group_cls.__name__}(... {f.name}={value!r})"
+                )
+            object.__setattr__(self, f.name, value)
+        # Reset so dataclasses.replace / with_ never re-applies a stale
+        # group over fresh flat overrides.
+        object.__setattr__(self, group_name, None)
+
     def __post_init__(self):
+        self._expand_group("flow", FlowConfig)
+        self._expand_group("obs", ObsConfig)
+        self._expand_group("fault", FaultConfig)
+        self._expand_group("resilience", RecoveryConfig)
         if self.num_machines < 1:
-            raise ConfigError("num_machines must be >= 1")
+            raise ConfigError(
+                f"num_machines must be >= 1 (got {self.num_machines})"
+            )
         if self.workers_per_machine < 1:
-            raise ConfigError("workers_per_machine must be >= 1")
+            raise ConfigError(
+                "workers_per_machine must be >= 1 "
+                f"(got {self.workers_per_machine})"
+            )
         if self.batch_size < 1:
-            raise ConfigError("batch_size must be >= 1")
+            raise ConfigError(f"batch_size must be >= 1 (got {self.batch_size})")
         if self.buffers_per_machine < 2 * self.num_machines:
             # The paper notes each machine requires at least two buffers
             # (send + receive) per peer; enforce the aggregate lower bound.
@@ -186,25 +308,42 @@ class EngineConfig:
                 f"(got {self.buffers_per_machine} for {self.num_machines} machines)"
             )
         if self.rpq_flow_depth < 0:
-            raise ConfigError("rpq_flow_depth must be >= 0")
+            raise ConfigError(
+                f"rpq_flow_depth must be >= 0 (got {self.rpq_flow_depth})"
+            )
         if self.rpq_shared_credits < 1:
-            raise ConfigError("rpq_shared_credits must be >= 1")
+            raise ConfigError(
+                f"rpq_shared_credits must be >= 1 (got {self.rpq_shared_credits})"
+            )
         if self.rpq_overflow_per_depth < 0:
-            raise ConfigError("rpq_overflow_per_depth must be >= 0")
+            raise ConfigError(
+                "rpq_overflow_per_depth must be >= 0 "
+                f"(got {self.rpq_overflow_per_depth})"
+            )
         if self.quantum <= 0:
-            raise ConfigError("quantum must be positive")
+            raise ConfigError(f"quantum must be positive (got {self.quantum})")
         if self.net_delay_rounds < 0:
-            raise ConfigError("net_delay_rounds must be >= 0")
+            raise ConfigError(
+                f"net_delay_rounds must be >= 0 (got {self.net_delay_rounds})"
+            )
         if self.max_rounds < 1:
-            raise ConfigError("max_rounds must be >= 1")
+            raise ConfigError(f"max_rounds must be >= 1 (got {self.max_rounds})")
         if self.receive_priority not in ("depth", "fifo"):
-            raise ConfigError("receive_priority must be 'depth' or 'fifo'")
+            raise ConfigError(
+                "receive_priority must be 'depth' or 'fifo' "
+                f"(got {self.receive_priority!r})"
+            )
         if self.schedule_seed is not None and (
             not isinstance(self.schedule_seed, int) or self.schedule_seed < 0
         ):
-            raise ConfigError("schedule_seed must be None or a non-negative int")
+            raise ConfigError(
+                "schedule_seed must be None or a non-negative int "
+                f"(got {self.schedule_seed!r})"
+            )
         if self.status_interval < 1:
-            raise ConfigError("status_interval must be >= 1")
+            raise ConfigError(
+                f"status_interval must be >= 1 (got {self.status_interval})"
+            )
         if self.stall_limit < 2 * self.status_interval:
             # The stall diagnosis must allow at least a couple of
             # heartbeat cycles before declaring the protocol stuck.
@@ -218,14 +357,31 @@ class EngineConfig:
             or self.retransmit_timeout_rounds < 1
         ):
             raise ConfigError(
-                "retransmit_timeout_rounds must be None or a positive int"
+                "retransmit_timeout_rounds must be None or a positive int "
+                f"(got {self.retransmit_timeout_rounds!r})"
             )
         if self.reliable_transport not in (None, True, False):
-            raise ConfigError("reliable_transport must be None, True, or False")
+            raise ConfigError(
+                "reliable_transport must be None, True, or False "
+                f"(got {self.reliable_transport!r})"
+            )
+        if self.max_concurrent_queries < 1:
+            raise ConfigError(
+                "max_concurrent_queries must be >= 1 "
+                f"(got {self.max_concurrent_queries})"
+            )
+        if self.admission_queue_limit < 0:
+            raise ConfigError(
+                "admission_queue_limit must be >= 0 "
+                f"(got {self.admission_queue_limit})"
+            )
         if self.deadline is not None and (
             not isinstance(self.deadline, int) or self.deadline < 1
         ):
-            raise ConfigError("deadline must be None or a positive int (rounds)")
+            raise ConfigError(
+                "deadline must be None or a positive int in rounds "
+                f"(got {self.deadline!r})"
+            )
         if self.recovery and self.reliable_transport is False:
             raise ConfigError(
                 "recovery requires the reliable transport layer "
@@ -243,6 +399,32 @@ class EngineConfig:
             # reliable_transport=False with a lossy plan is permitted —
             # chaos without the safety net is a legitimate experiment —
             # but then nothing guarantees delivery; the CLI warns.
+
+    def _regroup(self, group_cls):
+        """Rebuild a sub-config view from the flat fields."""
+        return group_cls(
+            **{f.name: getattr(self, f.name) for f in dataclass_fields(group_cls)}
+        )
+
+    @property
+    def flow_config(self):
+        """The flow-control fields regrouped as a :class:`FlowConfig`."""
+        return self._regroup(FlowConfig)
+
+    @property
+    def obs_config(self):
+        """The instrumentation fields regrouped as an :class:`ObsConfig`."""
+        return self._regroup(ObsConfig)
+
+    @property
+    def fault_config(self):
+        """The fault/transport fields regrouped as a :class:`FaultConfig`."""
+        return self._regroup(FaultConfig)
+
+    @property
+    def recovery_config(self):
+        """The recovery/deadline fields regrouped as a :class:`RecoveryConfig`."""
+        return self._regroup(RecoveryConfig)
 
     @property
     def transport_enabled(self):

@@ -1,158 +1,69 @@
-"""The public RPQd engine facade.
+"""The legacy RPQd engine facade — a deprecated shim over :class:`repro.Session`.
 
-Typical use::
+The stable API is :func:`repro.connect`::
 
-    from repro import RPQdEngine, EngineConfig
+    import repro
 
-    engine = RPQdEngine(graph, EngineConfig(num_machines=4))
-    result = engine.execute(
+    session = repro.connect(graph, num_machines=4)
+    result = session.execute(
         "SELECT COUNT(*) FROM MATCH (a:Person)-/:KNOWS{1,3}/->(b:Person)"
     )
     print(result.scalar(), result.stats.virtual_time)
+
+:class:`RPQdEngine` predates the session API and survives as a thin
+delegating wrapper: construction emits a :class:`DeprecationWarning`, and
+every method forwards to an internal :class:`~repro.session.Session`, so
+existing code (and the pre-session benchmarks) behaves identically.
 """
 
+import warnings
+
 from ..config import EngineConfig
-from ..graph.distributed import DistributedGraph
-from ..obs import Recorder
-from ..pgql.ast import Query
-from ..pgql.parser import parse
-from ..plan.compiler import compile_query
-from ..plan.explain import explain as explain_plan
-from ..runtime.scheduler import QueryExecution
-from ..runtime.trace import ExecutionTrace
-from .result import MachineSink, assemble_results
-
-
-class QueryResult:
-    """A merged result set plus the run's statistics and plan."""
-
-    def __init__(self, result_set, stats, plan, trace=None, obs=None):
-        self.result_set = result_set
-        self.stats = stats
-        self.plan = plan
-        self.trace = trace
-        # The observability recorder (repro.obs) when the run was observed:
-        # span events, metrics registry, exporter input.  None otherwise.
-        self.obs = obs
-
-    # Convenience pass-throughs.
-    def __iter__(self):
-        return iter(self.result_set)
-
-    def __len__(self):
-        return len(self.result_set)
-
-    @property
-    def columns(self):
-        return self.result_set.columns
-
-    @property
-    def rows(self):
-        return self.result_set.rows
-
-    def scalar(self):
-        return self.result_set.scalar()
-
-    def column(self, name_or_index):
-        return self.result_set.column(name_or_index)
-
-    def to_dicts(self):
-        return self.result_set.to_dicts()
-
-    @property
-    def complete(self):
-        """False when a permanently-down machine made the rows a lower bound."""
-        return self.result_set.complete
-
-    @property
-    def timed_out(self):
-        """True when the run was aborted at ``EngineConfig.deadline``."""
-        return self.result_set.timed_out
-
-    @property
-    def virtual_time(self):
-        """Virtual makespan in scheduler rounds (the latency metric)."""
-        return self.stats.virtual_time
-
-    def explain_analyze(self):
-        """The executed plan annotated with actual per-stage match counts."""
-        from ..plan.explain import explain as explain_plan
-
-        return explain_plan(self.plan, stats=self.stats)
+from .result import QueryResult  # noqa: F401  (re-export: public import path)
 
 
 class RPQdEngine:
-    """Distributed asynchronous RPQ engine over a simulated cluster."""
+    """Deprecated: use :func:`repro.connect` and :class:`repro.Session`."""
 
     def __init__(self, graph, config=None, partitioner="hash"):
-        self.graph = graph
-        self.config = config or EngineConfig()
-        self.dgraph = DistributedGraph(graph, self.config.num_machines, partitioner)
-        self._plan_cache = {}
+        warnings.warn(
+            "RPQdEngine is deprecated; use repro.connect(graph, ...) which "
+            "returns a Session with the same execute() plus concurrent "
+            "submit()/QueryHandle support",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from ..session import Session  # deferred: session imports engine.result
+
+        self._session = Session(
+            graph, config or EngineConfig(), partitioner=partitioner
+        )
+
+    # -- delegated surface (the entire historical public API) ------------
+    @property
+    def graph(self):
+        return self._session.graph
+
+    @property
+    def config(self):
+        return self._session.config
+
+    @property
+    def dgraph(self):
+        return self._session.dgraph
 
     def parse(self, query_text):
-        return parse(query_text)
+        return self._session.parse(query_text)
 
     def compile(self, query):
         """Compile PGQL text or a parsed Query into a distributed plan."""
-        scouting = self.config.scouting
-        if isinstance(query, str):
-            cached = self._plan_cache.get(query)
-            if cached is not None:
-                return cached
-            plan = compile_query(parse(query), self.graph, scouting=scouting)
-            self._plan_cache[query] = plan
-            return plan
-        if isinstance(query, Query):
-            return compile_query(query, self.graph, scouting=scouting)
-        return query  # assume an already-compiled DistributedPlan
+        return self._session.compile(query)
 
     def explain(self, query):
-        return explain_plan(self.compile(query))
+        return self._session.explain(query)
 
     def execute(self, query, config=None, trace=False, observe=None):
-        """Execute and return a :class:`QueryResult`.
-
-        ``config`` overrides the engine's configuration for this run (used
-        by benchmarks to sweep machine counts etc.); it must keep the same
-        ``num_machines`` unless the graph is re-partitioned, so a differing
-        machine count triggers a re-partition here.  With ``trace=True``
-        (or an :class:`~repro.runtime.trace.ExecutionTrace` instance) the
-        result carries a per-round activity timeline in ``result.trace``.
-
-        ``observe`` attaches the structured tracer/metrics recorder
-        (:mod:`repro.obs`): ``True`` creates a fresh
-        :class:`~repro.obs.Recorder`, an instance is used as-is, and
-        ``None`` defers to ``config.observe``.  The recorder is returned on
-        ``result.obs`` for export (Perfetto / JSONL / Prometheus).
-        """
-        run_config = config or self.config
-        dgraph = self.dgraph
-        if run_config.num_machines != dgraph.num_machines:
-            dgraph = DistributedGraph(self.graph, run_config.num_machines)
-        plan = self.compile(query)
-        sinks = [MachineSink(plan) for _ in range(run_config.num_machines)]
-        if trace is True:
-            trace = ExecutionTrace()
-        elif trace is False:
-            trace = None
-        if observe is None:
-            observe = run_config.observe
-        if observe is True:
-            recorder = Recorder(run_config)
-        elif observe:
-            recorder = observe  # caller-supplied Recorder instance
-        else:
-            recorder = None
-        execution = QueryExecution(
-            dgraph, plan, run_config, sink_factory=lambda m: sinks[m],
-            trace=trace, recorder=recorder,
+        """Execute and return a :class:`QueryResult` (see Session.execute)."""
+        return self._session.execute(
+            query, config=config, trace=trace, observe=observe
         )
-        stats = execution.run()
-        result_set = assemble_results(
-            plan,
-            sinks,
-            complete=not execution.partial,
-            timed_out=execution.timed_out,
-        )
-        return QueryResult(result_set, stats, plan, trace=trace, obs=recorder)

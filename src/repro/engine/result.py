@@ -246,6 +246,64 @@ class ResultSet:
         return f"ResultSet(columns={self.columns}, rows={len(self._rows)}{suffix})"
 
 
+class QueryResult:
+    """A merged result set plus the run's statistics and plan."""
+
+    def __init__(self, result_set, stats, plan, trace=None, obs=None):
+        self.result_set = result_set
+        self.stats = stats
+        self.plan = plan
+        self.trace = trace
+        # The observability recorder (repro.obs) when the run was observed:
+        # span events, metrics registry, exporter input.  None otherwise.
+        self.obs = obs
+
+    # Convenience pass-throughs.
+    def __iter__(self):
+        return iter(self.result_set)
+
+    def __len__(self):
+        return len(self.result_set)
+
+    @property
+    def columns(self):
+        return self.result_set.columns
+
+    @property
+    def rows(self):
+        return self.result_set.rows
+
+    def scalar(self):
+        return self.result_set.scalar()
+
+    def column(self, name_or_index):
+        return self.result_set.column(name_or_index)
+
+    def to_dicts(self):
+        return self.result_set.to_dicts()
+
+    @property
+    def complete(self):
+        """False when a permanently-down machine made the rows a lower bound."""
+        return self.result_set.complete
+
+    @property
+    def timed_out(self):
+        """True when the run was aborted at ``EngineConfig.deadline``."""
+        return self.result_set.timed_out
+
+    @property
+    def virtual_time(self):
+        """Virtual makespan in scheduler rounds (the latency metric)."""
+        return self.stats.virtual_time
+
+    def explain_analyze(self):
+        """The executed plan annotated with actual per-stage match counts."""
+        from ..plan.explain import explain as explain_plan
+
+        return explain_plan(self.plan, stats=self.stats)
+
+
 def _sort_key(value):
     """None-safe, mixed-type-safe sort key (NULLs last, then by type name)."""
     if value is None:

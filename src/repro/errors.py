@@ -48,6 +48,24 @@ class ConfigError(ReproError):
     """Raised for invalid engine configuration values."""
 
 
+class AdmissionError(ExecutionError):
+    """Raised when the concurrent runtime's bounded pending queue is full.
+
+    The multi-query scheduler (:mod:`repro.runtime.multi`) admits at most
+    ``max_concurrent`` queries onto the cluster and holds at most
+    ``max_pending`` more in its admission queue; a submit beyond that is
+    rejected immediately instead of growing an unbounded backlog.
+    """
+
+
+class QueryCancelledError(ExecutionError):
+    """Raised when :meth:`QueryHandle.result` is called on a cancelled query."""
+
+
+class SessionClosedError(ExecutionError):
+    """Raised when a closed :class:`repro.Session` is asked to run queries."""
+
+
 class SanitizerViolation(ReproError):
     """Raised by the runtime sanitizer when a protocol invariant breaks.
 

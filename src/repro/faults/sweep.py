@@ -90,11 +90,11 @@ def run_chaos_sweep(graph, queries, plans, config=None, compare_depths=True):
     exactly-once replay must reproduce the baseline despite machine loss.
     """
     from ..config import EngineConfig
-    from ..engine import RPQdEngine
+    from ..session import Session
 
     config = config or EngineConfig()
     baseline_config = config.with_(faults=None, reliable_transport=True)
-    engine = RPQdEngine(graph, baseline_config)
+    engine = Session(graph, baseline_config)
     reports = []
     for query in queries:
         base = engine.execute(query)

@@ -1,0 +1,49 @@
+"""Inter-query plan cache.
+
+Compiling a PGQL query (parse, plan, selectivity ordering) is pure given
+the graph and the scouting flag, so a :class:`repro.Session` keeps one
+cache across all queries it runs — concurrent submissions of the same
+query text share one compiled :class:`~repro.plan.compiler.
+DistributedPlan` object.  Keys are *normalized* query text (whitespace
+collapsed), so trivially reformatted repeats of a query still hit.
+"""
+
+import re
+
+_WHITESPACE = re.compile(r"\s+")
+
+
+def normalize_query_text(text):
+    """Canonical cache key for a query string: collapsed whitespace.
+
+    Deliberately conservative — no case folding or comment stripping, since
+    PGQL string literals and property names are case-sensitive.
+    """
+    return _WHITESPACE.sub(" ", text.strip())
+
+
+class PlanCache:
+    """Maps normalized query text to compiled plans, counting hits/misses."""
+
+    def __init__(self):
+        self._plans = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, text, scouting=False):
+        """The cached plan for ``text``, or ``None`` (counts the outcome)."""
+        plan = self._plans.get((normalize_query_text(text), scouting))
+        if plan is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return plan
+
+    def store(self, text, scouting, plan):
+        self._plans[(normalize_query_text(text), scouting)] = plan
+
+    def clear(self):
+        self._plans.clear()
+
+    def __len__(self):
+        return len(self._plans)

@@ -49,9 +49,21 @@ class ReachabilityIndex:
     for ``POINTER_BYTES`` per local vertex of up-front memory.
     """
 
-    def __init__(self, machine_id, rpq_id, preallocate_size=None, sanitizer=None, obs=None):
+    def __init__(
+        self,
+        machine_id,
+        rpq_id,
+        preallocate_size=None,
+        sanitizer=None,
+        obs=None,
+        query_id=0,
+    ):
         self.machine_id = machine_id
         self.rpq_id = rpq_id
+        # Multi-query runtime: index shards are instantiated per query, so
+        # entries are keyed by (query_id, rpq_id, rpid) across the cluster —
+        # one query's reachability facts never prune another's traversal.
+        self.query_id = query_id
         self._san = sanitizer
         self._probes = None
         if obs is not None:

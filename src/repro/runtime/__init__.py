@@ -4,7 +4,8 @@ termination detection, and the cooperative scheduler."""
 from .buffers import FlowControl, SHARED, remote_target_stages
 from .machine import Machine
 from .message import Batch, DoneMessage, StatusMessage
-from .network import SimulatedNetwork
+from .multi import ClusterScheduler, QueryTask
+from .network import ClusterNetwork, SimulatedNetwork
 from .scheduler import QueryExecution, STATUS_INTERVAL
 from .stats import MachineStats, RunStats
 from .termination import TerminationEvaluator, TerminationProtocol, TerminationTracker
@@ -12,6 +13,8 @@ from .worker import EvalState, Frame, Job, Worker
 
 __all__ = [
     "Batch",
+    "ClusterNetwork",
+    "ClusterScheduler",
     "DoneMessage",
     "EvalState",
     "FlowControl",
@@ -20,6 +23,7 @@ __all__ = [
     "Machine",
     "MachineStats",
     "QueryExecution",
+    "QueryTask",
     "RunStats",
     "SHARED",
     "STATUS_INTERVAL",

@@ -27,8 +27,16 @@ def remote_target_stages(plan):
 class FlowControl:
     """Sender-side credit accounting for one machine."""
 
-    def __init__(self, machine_id, plan, config, stats, sanitizer=None, obs=None):
+    def __init__(
+        self, machine_id, plan, config, stats, sanitizer=None, obs=None, query_id=0
+    ):
         self.machine_id = machine_id
+        # Multi-query runtime: the credit partition this accountant manages
+        # belongs to exactly one query — each query running on a machine
+        # owns its own FlowControl, so per-(dst, stage, depth) buckets are
+        # namespaced by query id and queries can never starve each other's
+        # send credits (per-query flow-control isolation).
+        self.query_id = query_id
         self.config = config
         self.stats = stats
         self._san = sanitizer

@@ -22,7 +22,7 @@ class Machine:
 
     def __init__(
         self, machine_id, dgraph, plan, config, network, output_sink,
-        sanitizer=None, obs=None,
+        sanitizer=None, obs=None, query_id=0,
     ):
         self.id = machine_id
         self.plan = plan
@@ -32,14 +32,24 @@ class Machine:
         self.output_sink = output_sink
         self.sanitizer = sanitizer
         self.obs = obs
+        # Multi-query runtime (:mod:`repro.runtime.multi`): this object is
+        # one query's execution state on one simulated machine.  Solo runs
+        # use query 0; under the concurrent scheduler a machine hosts one
+        # such slice per active query, and every namespaced structure below
+        # (flow-control credits, termination counters, index shards) and
+        # every outgoing message carries this id.
+        self.query_id = query_id
         self.stats = MachineStats()
-        self.tracker = TerminationTracker(machine_id, sanitizer=sanitizer)
+        self.tracker = TerminationTracker(
+            machine_id, sanitizer=sanitizer, query_id=query_id
+        )
         self.protocol = TerminationProtocol(
             machine_id, plan, config.num_machines, self.tracker,
             sanitizer=sanitizer, obs=obs,
         )
         self.flow = FlowControl(
-            machine_id, plan, config, self.stats, sanitizer=sanitizer, obs=obs
+            machine_id, plan, config, self.stats, sanitizer=sanitizer, obs=obs,
+            query_id=query_id,
         )
         self.current_round = 0
 
@@ -64,6 +74,7 @@ class Machine:
                     preallocate_size=local_count if config.index_preallocate else None,
                     sanitizer=sanitizer,
                     obs=obs,
+                    query_id=query_id,
                 )
                 self.indexes[stage.rpq.rpq_id] = index
                 self.controllers[stage.index] = RpqController(
@@ -179,6 +190,14 @@ class Machine:
     def deliver(self, messages):
         fifo = self.config.receive_priority == "fifo"
         for message in messages:
+            if message.query_id != self.query_id:
+                # Channels are namespaced by query id; a cross-query
+                # delivery means the scheduler routed a message to the
+                # wrong slice and would corrupt credits/counters silently.
+                raise AssertionError(
+                    f"machine {self.id} (query {self.query_id}) received a "
+                    f"message for query {message.query_id}: {message!r}"
+                )
             if isinstance(message, Batch):
                 priority = (0, 0, message.seq) if fifo else message.priority
                 heapq.heappush(self._inbox, (priority, message))
@@ -209,6 +228,7 @@ class Machine:
             DoneMessage(
                 src_machine=self.id,
                 dst_machine=batch.src_machine,
+                query_id=self.query_id,
                 credit_key=batch.credit_key,
             ),
             self.current_round,
@@ -263,6 +283,7 @@ class Machine:
                 dst_machine=dst,
                 target_stage=stage_idx,
                 depth=depth,
+                query_id=self.query_id,
             )
             self._open[key] = batch
             # Counted at creation so partially-filled buffers are visible to
@@ -378,11 +399,26 @@ class Machine:
         shrinks the quantum when a physical host runs more than one
         logical machine after partition failover (:mod:`repro.recovery`).
         """
+        consumed = self.run_slice(
+            round_no, self.config.quantum * budget_scale, rng=rng
+        )
+        self.account_round(consumed)
+        return consumed
+
+    def run_slice(self, round_no, budget, rng=None):
+        """Spend up to ``budget`` cost units of worker time this round.
+
+        The multi-query scheduler (:mod:`repro.runtime.multi`) calls this
+        directly — possibly several times per round per query slice when
+        redistributing quantum left idle by other queries — so busy/idle
+        round accounting is split out into :meth:`account_round`, charged
+        exactly once per round.
+        """
         self.current_round = round_no
         workers = self.workers
         if rng is not None:
             workers = rng.sample(workers, len(workers))
-        budget_each = (self.config.quantum * budget_scale) / len(self.workers)
+        budget_each = budget / len(self.workers)
         consumed = 0.0
         for worker in workers:
             consumed += worker.run(budget_each)
@@ -394,12 +430,15 @@ class Machine:
             flushed = self.flush_partials()
             if flushed:
                 consumed += self.config.cost.message_fixed * flushed
+        self.stats.cost_units += consumed
+        return consumed
+
+    def account_round(self, consumed):
+        """Record one round as busy or idle (once per round per slice)."""
         if consumed > 0.0:
             self.stats.busy_rounds += 1
         else:
             self.stats.idle_rounds += 1
-        self.stats.cost_units += consumed
-        return consumed
 
     def emit_output(self, ctx):
         self.stats.outputs += 1

@@ -33,6 +33,10 @@ class Batch:
     dst_machine: int
     target_stage: int
     depth: int  # 0 for non-RPQ stages
+    # Multi-query runtime (:mod:`repro.runtime.multi`): the id of the query
+    # this batch belongs to.  Message channels, flow-control credits, and
+    # termination counters are all namespaced by it; solo runs use 0.
+    query_id: int = 0
     credit_key: object = None  # flow-control bucket that backed this send
     contexts: list = field(default_factory=list)  # [(vertex, ctx_list)]
     seq: int = field(default_factory=lambda: next(_seq))
@@ -60,6 +64,7 @@ class Batch:
             dst_machine=self.dst_machine,
             target_stage=self.target_stage,
             depth=self.depth,
+            query_id=self.query_id,
             credit_key=self.credit_key,
             contexts=[(vertex, list(ctx)) for vertex, ctx in self.contexts],
         )
@@ -87,6 +92,7 @@ class DoneMessage:
 
     src_machine: int  # machine that processed the batch
     dst_machine: int  # machine that sent the batch (credit owner)
+    query_id: int = 0  # multi-query namespace (see Batch.query_id)
     credit_key: object = None
     seq: int = field(default_factory=lambda: next(_seq))
     tseq: object = None  # reliable-transport sequence number
@@ -96,6 +102,7 @@ class DoneMessage:
         new = DoneMessage(
             src_machine=self.src_machine,
             dst_machine=self.dst_machine,
+            query_id=self.query_id,
             credit_key=self.credit_key,
         )
         new.seq = self.seq
@@ -110,6 +117,7 @@ class StatusMessage:
 
     src_machine: int
     dst_machine: int
+    query_id: int = 0  # multi-query namespace (see Batch.query_id)
     generation: int = 0
     sent: dict = field(default_factory=dict)  # {(stage, depth): n}
     processed: dict = field(default_factory=dict)
@@ -122,6 +130,7 @@ class StatusMessage:
         new = StatusMessage(
             src_machine=self.src_machine,
             dst_machine=self.dst_machine,
+            query_id=self.query_id,
             generation=self.generation,
             sent=dict(self.sent),
             processed=dict(self.processed),

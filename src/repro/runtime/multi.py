@@ -1,0 +1,451 @@
+"""The concurrent multi-query runtime.
+
+:class:`ClusterScheduler` interleaves several queries on the *same*
+simulated machines under one global round clock.  Each admitted query gets
+one :class:`~repro.runtime.machine.Machine` slice per machine id, a private
+message channel on the shared :class:`~repro.runtime.network.
+ClusterNetwork`, its own sanitizer/recorder, and its own termination
+protocol — everything namespaced by ``query_id``, so flow-control credits,
+work counters, and reachability facts can never leak between queries.
+
+Fair quantum sharing
+    A machine still spends at most ``config.quantum`` cost units per global
+    round, but that budget is now split across the machine's active query
+    slices with a work-conserving multi-pass redistribution: every runnable
+    slice first gets an equal share, and budget left idle by queries with
+    little to do is re-offered to the ones still hungry.  Throughput beats
+    back-to-back sequential execution exactly when queries leave quantum
+    idle (message-latency bubbles, narrow frontiers) that other queries can
+    soak up.
+
+Admission control
+    At most ``config.max_concurrent_queries`` queries run at once; up to
+    ``config.admission_queue_limit`` more wait in a bounded FIFO queue, and
+    submissions beyond that are rejected with :class:`~repro.errors.
+    AdmissionError` instead of growing an unbounded backlog.
+
+Determinism
+    Admission order, the slice service order within a round, and every
+    per-query protocol are deterministic, so a given submission sequence
+    always produces the same interleaving.  Result *sets* are additionally
+    identical to solo execution of the same query: concurrency only
+    perturbs the schedule, and the engine's result assembly is
+    schedule-invariant (the property the race detector checks).
+
+Not supported concurrently (use the solo path): fault injection, crash
+recovery, and the race-detector schedule seed — each assumes it owns the
+whole cluster clock.
+"""
+
+import time
+
+from ..analysis.sanitizer import sanitizer_from_config
+from ..errors import (
+    AdmissionError,
+    ConfigError,
+    ExecutionError,
+    FlowControlDeadlock,
+)
+from .machine import Machine
+from .network import ClusterNetwork
+from .stats import RunStats
+
+#: Budget below this fraction of a quantum is not worth another
+#: redistribution pass.
+_SHARE_EPSILON = 1e-6
+#: Redistribution passes per machine per round: enough for idle budget to
+#: cascade to the hungriest slice, bounded so a round stays O(slices).
+_MAX_PASSES = 4
+
+
+def _check_concurrent_config(config):
+    """Reject per-query options that assume exclusive cluster ownership."""
+    if config.faults is not None:
+        raise ConfigError(
+            "fault injection is not supported by the concurrent scheduler "
+            "(faults assume exclusive ownership of the cluster clock); "
+            "run the query solo via Session.execute"
+        )
+    if config.recovery:
+        raise ConfigError(
+            "crash recovery is not supported by the concurrent scheduler; "
+            "run the query solo via Session.execute"
+        )
+    if config.transport_enabled:
+        raise ConfigError(
+            "reliable transport is not supported by the concurrent "
+            "scheduler (it exists to survive faults, which are solo-only)"
+        )
+    if config.schedule_seed is not None:
+        raise ConfigError(
+            "schedule_seed (race-detector mode) is not supported by the "
+            "concurrent scheduler; perturb solo runs instead"
+        )
+
+
+class QueryTask:
+    """One admitted query's execution state inside the cluster scheduler."""
+
+    def __init__(
+        self, query_id, dgraph, plan, config, sink_factory, channel,
+        sanitizer=None, obs=None,
+    ):
+        self.query_id = query_id
+        self.plan = plan
+        self.config = config
+        self.channel = channel
+        self.sanitizer = sanitizer
+        self.obs = obs
+        self.sinks = [sink_factory(m) for m in range(config.num_machines)]
+        self.slices = [
+            Machine(
+                m, dgraph, plan, config, channel, self.sinks[m],
+                sanitizer=sanitizer, obs=obs, query_id=query_id,
+            )
+            for m in range(config.num_machines)
+        ]
+        self.admitted_round = None  # global round of admission
+        self.started = time.perf_counter()
+        self.concluded = [False] * config.num_machines
+        self.last_progress_round = 0
+        self.quiescent_round = None  # local rounds (relative to admission)
+        self.finished = False
+        self.cancelled = False
+        self.timed_out = False
+        self.partial = False
+        self.error = None
+        self.stats = None
+
+    def local_round(self, round_no):
+        """Rounds of virtual time this query has been running."""
+        return round_no - self.admitted_round + 1
+
+    def is_quiescent(self):
+        """No query work anywhere: slices idle, channel without batches."""
+        if self.channel.has_protocol_work():
+            return False
+        return all(s.is_quiescent() for s in self.slices)
+
+    def _diagnose_stall(self, round_no):
+        if self.is_quiescent():
+            raise ExecutionError(
+                f"termination protocol for query {self.query_id} failed to "
+                f"conclude by round {round_no} despite quiescence "
+                "(protocol bug)"
+            )
+        blocked = sum(s.stats.flow_control_blocks for s in self.slices)
+        in_flight = [s.flow.in_flight for s in self.slices]
+        raise FlowControlDeadlock(
+            f"query {self.query_id} made no progress for "
+            f"{self.config.stall_limit} rounds at round {round_no}: "
+            f"{blocked} flow-control blocks, in-flight credits {in_flight}. "
+            "Increase buffers_per_machine / rpq_overflow_per_depth."
+        )
+
+    def _settle_and_audit(self, round_no):
+        """Sanitizer epilogue on the query's *private* channel.
+
+        The channel carries no other query's traffic and is closed right
+        after, so draining it ahead of the global clock is safe: deliver
+        the in-flight DONE credit returns, then audit credit conservation
+        and final counter equality exactly like the solo scheduler.
+        """
+        settle_limit = round_no + 16 + 4 * self.config.net_delay_rounds
+        while round_no < settle_limit:
+            if not self.channel.has_protocol_work():
+                break
+            round_no += 1
+            for s in self.slices:
+                s.deliver(self.channel.drain(s.id, round_no))
+        self.sanitizer.on_query_end([s.flow for s in self.slices])
+        self.sanitizer.check_final_counts([s.tracker for s in self.slices])
+        return round_no
+
+    def finalize(self, round_no):
+        """Build this query's :class:`RunStats`; rounds are query-local."""
+        local = self.local_round(round_no)
+        if self.sanitizer is not None and not self.partial:
+            # The settle drain runs on a private clock continuing from the
+            # global round; only the extra rounds count toward the tail.
+            local += self._settle_and_audit(round_no) - round_no
+        for s in self.slices:
+            s.finalize_stats()
+        self.stats = RunStats(
+            [s.stats for s in self.slices],
+            local,
+            time.perf_counter() - self.started,
+            self.config,
+            quiescent_round=self.quiescent_round,
+            timed_out=self.timed_out,
+            partial=self.partial,
+        )
+        self.finished = True
+        return self.stats
+
+
+class ClusterScheduler:
+    """Runs many queries concurrently on one simulated cluster.
+
+    The scheduler owns the cluster shape (machine count, quantum, network
+    delay) via ``base_config``; each submitted query brings its own
+    :class:`~repro.config.EngineConfig` whose cluster-shape fields must
+    match.  Call :meth:`submit` any number of times, then :meth:`run`
+    (or :meth:`step` round by round); finished tasks carry their
+    :class:`RunStats` and filled sinks.
+    """
+
+    def __init__(self, dgraph, base_config):
+        _check_concurrent_config(base_config)
+        self.dgraph = dgraph
+        self.config = base_config
+        if dgraph.num_machines != base_config.num_machines:
+            raise ExecutionError(
+                f"graph partitioned for {dgraph.num_machines} machines but "
+                f"config requests {base_config.num_machines}"
+            )
+        self.network = ClusterNetwork(
+            base_config.num_machines, base_config.net_delay_rounds
+        )
+        self.round_no = 0
+        self.active = []  # admission order
+        self.pending = []  # bounded FIFO of not-yet-admitted QueryTasks
+        self._next_query_id = 1  # 0 is the solo path's id
+        self.admitted = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def submit(self, plan, sink_factory, config=None, obs=None):
+        """Queue one query; returns its :class:`QueryTask`.
+
+        Raises :class:`AdmissionError` when the concurrency limit *and*
+        the pending queue are both full.
+        """
+        config = self.config if config is None else config
+        _check_concurrent_config(config)
+        if config.num_machines != self.config.num_machines:
+            raise ConfigError(
+                f"query config requests {config.num_machines} machines but "
+                f"the cluster has {self.config.num_machines}"
+            )
+        if config.net_delay_rounds != self.config.net_delay_rounds:
+            raise ConfigError(
+                "query config net_delay_rounds="
+                f"{config.net_delay_rounds} differs from the cluster's "
+                f"{self.config.net_delay_rounds} (the interconnect is shared)"
+            )
+        if (
+            len(self.active) >= self.config.max_concurrent_queries
+            and len(self.pending) >= self.config.admission_queue_limit
+        ):
+            self.rejected += 1
+            raise AdmissionError(
+                f"admission queue full: {len(self.active)} running, "
+                f"{len(self.pending)} pending (max_concurrent_queries="
+                f"{self.config.max_concurrent_queries}, "
+                f"admission_queue_limit={self.config.admission_queue_limit})"
+            )
+        query_id = self._next_query_id
+        self._next_query_id += 1
+        sanitizer = sanitizer_from_config(config, obs=obs)
+        channel = self.network.open_channel(
+            query_id, plan.num_slots, sanitizer=sanitizer, obs=obs,
+        )
+        if obs is not None:
+            obs.configure(config.num_machines, config.quantum)
+        task = QueryTask(
+            query_id, self.dgraph, plan, config, sink_factory, channel,
+            sanitizer=sanitizer, obs=obs,
+        )
+        self.pending.append(task)
+        self._admit()
+        return task
+
+    def _admit(self):
+        """Move pending tasks onto the cluster up to the concurrency cap."""
+        while (
+            self.pending
+            and len(self.active) < self.config.max_concurrent_queries
+        ):
+            task = self.pending.pop(0)
+            task.admitted_round = self.round_no + 1
+            task.last_progress_round = self.round_no
+            self.active.append(task)
+            self.admitted += 1
+            if task.obs is not None:
+                task.obs.cluster_instant(
+                    "query.start",
+                    args={
+                        "query": task.query_id,
+                        "stages": len(task.plan.stages),
+                    },
+                )
+
+    def cancel(self, task):
+        """Withdraw a query; returns True unless it had already finished.
+
+        A pending task is simply dequeued; an active one is torn down
+        without the settle/audit epilogue (its in-flight traffic dies with
+        its private channel).  Either way the task ends ``cancelled`` with
+        no stats.
+        """
+        if task.finished:
+            return False
+        task.cancelled = True
+        task.finished = True
+        if task in self.pending:
+            self.pending.remove(task)
+        if task in self.active:
+            self.active.remove(task)
+            self._admit()
+        self.network.close_channel(task.query_id)
+        return True
+
+    # ------------------------------------------------------------------
+    # The global round loop
+    # ------------------------------------------------------------------
+    def step(self):
+        """Run one global round; returns the tasks that finished in it."""
+        self.round_no += 1
+        round_no = self.round_no
+        finished = []
+
+        # Delivery phase: each slice drains its query's private channel.
+        for task in self.active:
+            for s in task.slices:
+                s.deliver(self.network.drain(s.id, task.query_id, round_no))
+
+        # Execution phase: split each machine's quantum fairly across the
+        # query slices hosted on it, work-conserving.
+        consumed_by_task = {task.query_id: 0.0 for task in self.active}
+        for m in range(self.config.num_machines):
+            slices = [(task, task.slices[m]) for task in self.active]
+            if not slices:
+                continue
+            consumed = self._run_machine_round(m, round_no, slices)
+            for task, _ in slices:
+                consumed_by_task[task.query_id] += consumed[task.query_id]
+
+        # Per-query protocol phase: heartbeats, termination, watchdogs —
+        # all on the query's own clock (rounds since admission).
+        for task in list(self.active):
+            if consumed_by_task[task.query_id] > 0.0:
+                task.last_progress_round = round_no
+                task.quiescent_round = None
+            elif task.quiescent_round is None and task.is_quiescent():
+                task.quiescent_round = task.local_round(round_no)
+            try:
+                if self._drive_protocol(task, round_no):
+                    finished.append(task)
+            except ExecutionError as error:
+                # The failure belongs to one query, not the cluster: park
+                # it on the task (re-raised by QueryHandle.result) and let
+                # the other queries keep running.
+                task.error = error
+                task.partial = True
+                task.finalize(round_no)
+                finished.append(task)
+
+        for task in finished:
+            self.active.remove(task)
+            self.network.close_channel(task.query_id)
+            if task.obs is not None:
+                task.obs.cluster_instant(
+                    "query.end",
+                    args={
+                        "query": task.query_id,
+                        "rounds": task.stats.rounds if task.stats else None,
+                    },
+                    round_no=task.local_round(round_no),
+                )
+        if finished:
+            self._admit()
+        return finished
+
+    def _run_machine_round(self, m, round_no, slices):
+        """Fair work-conserving quantum split on machine ``m``.
+
+        Pass 1 offers every slice an equal share of the quantum; slices
+        that consume (almost) their whole share are *hungry* and split
+        whatever the others left idle in further passes.  Busy/idle round
+        accounting is charged once per slice at the end, on its total.
+        """
+        remaining = self.config.quantum
+        used_total = {task.query_id: 0.0 for task, _ in slices}
+        hungry = list(slices)
+        passes = 0
+        while hungry and remaining > self.config.quantum * _SHARE_EPSILON:
+            share = remaining / len(hungry)
+            spent_this_pass = 0.0
+            still_hungry = []
+            for task, s in hungry:
+                used = s.run_slice(round_no, share)
+                used_total[task.query_id] += used
+                spent_this_pass += used
+                if used >= share * (1.0 - _SHARE_EPSILON):
+                    still_hungry.append((task, s))
+            remaining = max(0.0, remaining - spent_this_pass)
+            hungry = still_hungry
+            passes += 1
+            if passes >= _MAX_PASSES:
+                break
+        for task, s in slices:
+            s.account_round(used_total[task.query_id])
+        return used_total
+
+    def _drive_protocol(self, task, round_no):
+        """Heartbeats / termination / watchdogs for one task.
+
+        Returns True when the task finished this round (concluded or
+        deadline-expired); raises on stall or round-cap breach.
+        """
+        local = task.local_round(round_no)
+        config = task.config
+        if local > config.max_rounds:
+            raise ExecutionError(
+                f"query {task.query_id} exceeded max_rounds="
+                f"{config.max_rounds} (runaway query or configuration "
+                "too tight)"
+            )
+        if config.deadline is not None and local > config.deadline:
+            task.partial = True
+            task.timed_out = True
+            task.finalize(round_no)
+            return True
+        if local % config.status_interval == 0:
+            for s in task.slices:
+                s.broadcast_status(round_no)
+            if task.sanitizer is not None:
+                task.sanitizer.check_global_counts(
+                    [s.tracker for s in task.slices]
+                )
+            done = True
+            for s in task.slices:
+                if not task.concluded[s.id]:
+                    task.concluded[s.id] = s.check_termination()
+                done = done and task.concluded[s.id]
+            if done:
+                task.finalize(round_no)
+                return True
+        if round_no - task.last_progress_round > config.stall_limit:
+            task._diagnose_stall(round_no)
+        return False
+
+    def run(self):
+        """Step until every submitted query has finished.
+
+        Returns all tasks finished during this call, in completion order.
+        The global round counter keeps advancing across calls, so
+        interleaving ``submit``/``run`` is fine.
+        """
+        finished = []
+        while self.active or self.pending:
+            self._admit()
+            finished.extend(self.step())
+        return finished
+
+    @property
+    def makespan(self):
+        """Global rounds elapsed on the shared cluster clock."""
+        return self.round_no

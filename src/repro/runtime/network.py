@@ -411,6 +411,17 @@ class SimulatedNetwork:
                 count += 1
         return count
 
+    def has_protocol_work(self):
+        """True while undelivered Batch/Done traffic exists on this channel.
+
+        STATUS heartbeats are excluded: they carry no query work, so a
+        channel whose only pending messages are heartbeats is quiescent.
+        """
+        kinds = self.pending_kinds()
+        if kinds["batch"] or kinds["done"]:
+            return True
+        return bool(self.reliable and self.undelivered_work())
+
     def transport_summary(self):
         """Transport/fault counters for :class:`RunStats` and reports."""
         return {
@@ -427,3 +438,68 @@ class SimulatedNetwork:
             "retx_exhausted": self.retx_exhausted,
             "frames_replayed": self.frames_replayed,
         }
+
+
+class ClusterNetwork:
+    """The shared interconnect of the multi-query runtime.
+
+    Message channels are namespaced by query id: each admitted query gets
+    its own :class:`SimulatedNetwork` channel (queues, transport state,
+    sanitizer hooks), opened at admission and closed when the query
+    finishes.  Cross-query isolation is structural — a query's batches,
+    credit returns, and heartbeats can only ever reach its own slices —
+    while the cluster still observes aggregate traffic for reports.
+    """
+
+    def __init__(self, num_machines, net_delay_rounds=1):
+        self.num_machines = num_machines
+        self.delay = net_delay_rounds
+        self._channels = {}  # query_id -> SimulatedNetwork, admission order
+        # Traffic of already-closed channels, kept so cluster totals are
+        # monotone across the whole scheduler lifetime.
+        self._closed_messages = 0
+        self._closed_bytes = 0
+
+    def open_channel(self, query_id, num_slots, sanitizer=None, obs=None):
+        """Create the per-query channel; returns the SimulatedNetwork."""
+        if query_id in self._channels:
+            raise AssertionError(f"channel for query {query_id} already open")
+        channel = SimulatedNetwork(
+            self.num_machines,
+            self.delay,
+            num_slots,
+            obs=obs,
+            sanitizer=sanitizer,
+        )
+        self._channels[query_id] = channel
+        return channel
+
+    def close_channel(self, query_id):
+        """Tear down a finished/cancelled query's channel."""
+        channel = self._channels.pop(query_id, None)
+        if channel is not None:
+            self._closed_messages += channel.total_messages
+            self._closed_bytes += channel.total_bytes
+
+    def channel(self, query_id):
+        return self._channels[query_id]
+
+    def send(self, message, now_round):
+        """Route a message onto its query's channel."""
+        self._channels[message.query_id].send(message, now_round)
+
+    def drain(self, machine_id, query_id, now_round):
+        """Pop one machine's deliverable messages on one query's channel."""
+        return self._channels[query_id].drain(machine_id, now_round)
+
+    @property
+    def total_messages(self):
+        return self._closed_messages + sum(
+            c.total_messages for c in self._channels.values()
+        )
+
+    @property
+    def total_bytes(self):
+        return self._closed_bytes + sum(
+            c.total_bytes for c in self._channels.values()
+        )

@@ -41,8 +41,13 @@ from .message import StatusMessage
 class TerminationTracker:
     """Per-machine work counters feeding the protocol."""
 
-    def __init__(self, machine_id, sanitizer=None):
+    def __init__(self, machine_id, sanitizer=None, query_id=0):
         self.machine_id = machine_id
+        # Multi-query runtime: counters (and the STATUS snapshots built from
+        # them) belong to one query; the id rides every snapshot so a
+        # misrouted heartbeat can be rejected instead of corrupting another
+        # query's termination state.
+        self.query_id = query_id
         self._san = sanitizer
         self.sent = Counter()  # {(stage, depth): units created}
         self.processed = Counter()  # {(stage, depth): units completed}
@@ -90,6 +95,7 @@ class TerminationTracker:
         return StatusMessage(
             src_machine=self.machine_id,
             dst_machine=dst_machine,
+            query_id=self.query_id,
             generation=self.generation,
             sent=dict(self.sent),
             processed=dict(self.processed),

@@ -1,0 +1,308 @@
+"""The stable public API: :func:`connect`, :class:`Session`, handles.
+
+Typical use::
+
+    import repro
+
+    with repro.connect(graph, num_machines=4) as session:
+        # Blocking, full-featured (faults, recovery, tracing):
+        result = session.execute(
+            "SELECT COUNT(*) FROM MATCH (a:Person)-/:KNOWS{1,3}/->(b)"
+        )
+
+        # Concurrent: several queries interleave on the same cluster.
+        handles = [session.submit(q) for q in queries]
+        for handle in handles:
+            rows = handle.result().rows
+
+``execute`` runs one query with exclusive ownership of the simulated
+cluster (the solo :class:`~repro.runtime.scheduler.QueryExecution` path —
+the only one supporting fault injection, crash recovery, and the race
+detector).  ``submit`` hands the query to the shared
+:class:`~repro.runtime.multi.ClusterScheduler`, where it interleaves with
+every other in-flight submission under fair per-machine quantum sharing;
+the returned :class:`QueryHandle` drives the cluster forward on demand.
+
+Both paths share one :class:`~repro.plan.cache.PlanCache`, so repeated
+query text (modulo whitespace) compiles once per session.
+"""
+
+from .config import EngineConfig
+from .engine.result import MachineSink, QueryResult, assemble_results
+from .errors import QueryCancelledError, SessionClosedError
+from .graph.distributed import DistributedGraph
+from .obs import Recorder
+from .pgql.ast import Query
+from .pgql.parser import parse
+from .plan.cache import PlanCache
+from .plan.compiler import compile_query
+from .plan.explain import explain as explain_plan
+from .runtime.multi import ClusterScheduler
+from .runtime.scheduler import QueryExecution
+from .runtime.trace import ExecutionTrace
+
+
+def connect(graph, config=None, partitioner="hash", **overrides):
+    """Open a :class:`Session` on ``graph``.
+
+    ``config`` is an optional :class:`~repro.config.EngineConfig`;
+    keyword overrides are applied on top (or, with no ``config``, used to
+    build one), so ``repro.connect(graph, num_machines=8, sanitize=True)``
+    works without touching the config class.  Invalid fields raise
+    :class:`~repro.errors.ConfigError` naming the offending value.
+    """
+    if config is None:
+        config = EngineConfig(**overrides)
+    elif overrides:
+        config = config.with_(**overrides)
+    return Session(graph, config, partitioner=partitioner)
+
+
+class QueryHandle:
+    """One submitted query's future result.
+
+    ``result()`` drives the session's shared cluster until this query
+    finishes (every other in-flight query progresses alongside it) and
+    returns the :class:`~repro.engine.result.QueryResult`; ``done()``
+    peeks without advancing virtual time; ``cancel()`` withdraws the
+    query, after which ``result()`` raises :class:`~repro.errors.
+    QueryCancelledError`.
+    """
+
+    def __init__(self, session, task, plan, sinks, query_text):
+        self._session = session
+        self._task = task
+        self._plan = plan
+        self._sinks = sinks
+        self._result = None
+        #: The submitted query text (or ``None`` for pre-compiled plans).
+        self.query_text = query_text
+
+    @property
+    def query_id(self):
+        return self._task.query_id
+
+    def done(self):
+        """True once the query finished (concluded, failed, or cancelled)."""
+        return self._task.finished
+
+    def cancelled(self):
+        return self._task.cancelled
+
+    def cancel(self):
+        """Withdraw the query; True unless it had already finished."""
+        return self._session._cancel(self._task)
+
+    def result(self):
+        """Block (in virtual time) until finished; return the result.
+
+        Raises the query's own failure (e.g. a flow-control deadlock or
+        sanitizer violation) if it had one, and
+        :class:`QueryCancelledError` after :meth:`cancel`.
+        """
+        if self._result is not None:
+            return self._result
+        self._session._drive(self._task)
+        task = self._task
+        if task.cancelled:
+            raise QueryCancelledError(
+                f"query {task.query_id} was cancelled before completing"
+            )
+        if task.error is not None:
+            raise task.error
+        result_set = assemble_results(
+            self._plan,
+            self._sinks,
+            complete=not task.partial,
+            timed_out=task.timed_out,
+        )
+        self._result = QueryResult(
+            result_set, task.stats, self._plan, obs=task.obs
+        )
+        return self._result
+
+
+class Session:
+    """A connection to one simulated RPQd cluster over one graph."""
+
+    def __init__(self, graph, config=None, partitioner="hash"):
+        self.graph = graph
+        self.config = config or EngineConfig()
+        self.partitioner = partitioner
+        self.dgraph = DistributedGraph(
+            graph, self.config.num_machines, partitioner
+        )
+        self.plan_cache = PlanCache()
+        self._scheduler = None
+        self._handles = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self):
+        """Cancel outstanding submissions and refuse further queries."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._handles:
+            if not handle.done():
+                handle.cancel()
+        self._handles = []
+        self._scheduler = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    @property
+    def closed(self):
+        return self._closed
+
+    def _check_open(self):
+        if self._closed:
+            raise SessionClosedError(
+                "this Session is closed; connect() a new one"
+            )
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def parse(self, query_text):
+        return parse(query_text)
+
+    def compile(self, query):
+        """Compile PGQL text or a parsed Query into a distributed plan.
+
+        Text goes through the session's :class:`PlanCache` (normalized, so
+        whitespace-variant repeats hit); parsed ASTs and already-compiled
+        plans bypass it.
+        """
+        scouting = self.config.scouting
+        if isinstance(query, str):
+            plan = self.plan_cache.lookup(query, scouting)
+            if plan is None:
+                plan = compile_query(parse(query), self.graph, scouting=scouting)
+                self.plan_cache.store(query, scouting, plan)
+            return plan
+        if isinstance(query, Query):
+            return compile_query(query, self.graph, scouting=scouting)
+        return query  # assume an already-compiled DistributedPlan
+
+    def explain(self, query):
+        return explain_plan(self.compile(query))
+
+    # ------------------------------------------------------------------
+    # Solo execution (exclusive cluster ownership)
+    # ------------------------------------------------------------------
+    def execute(self, query, config=None, trace=False, observe=None):
+        """Execute one query to completion and return a :class:`QueryResult`.
+
+        ``config`` overrides the session's configuration for this run (used
+        by benchmarks to sweep machine counts etc.); a differing
+        ``num_machines`` triggers a re-partition here.  With ``trace=True``
+        (or an :class:`~repro.runtime.trace.ExecutionTrace` instance) the
+        result carries a per-round activity timeline in ``result.trace``.
+
+        ``observe`` attaches the structured tracer/metrics recorder
+        (:mod:`repro.obs`): ``True`` creates a fresh
+        :class:`~repro.obs.Recorder`, an instance is used as-is, and
+        ``None`` defers to ``config.observe``.  The recorder is returned on
+        ``result.obs`` for export (Perfetto / JSONL / Prometheus).
+        """
+        self._check_open()
+        run_config = config or self.config
+        dgraph = self.dgraph
+        if run_config.num_machines != dgraph.num_machines:
+            dgraph = DistributedGraph(self.graph, run_config.num_machines)
+        plan = self.compile(query)
+        sinks = [MachineSink(plan) for _ in range(run_config.num_machines)]
+        if trace is True:
+            trace = ExecutionTrace()
+        elif trace is False:
+            trace = None
+        if observe is None:
+            observe = run_config.observe
+        if observe is True:
+            recorder = Recorder(run_config)
+        elif observe:
+            recorder = observe  # caller-supplied Recorder instance
+        else:
+            recorder = None
+        execution = QueryExecution(
+            dgraph, plan, run_config, sink_factory=lambda m: sinks[m],
+            trace=trace, recorder=recorder,
+        )
+        stats = execution.run()
+        result_set = assemble_results(
+            plan,
+            sinks,
+            complete=not execution.partial,
+            timed_out=execution.timed_out,
+        )
+        return QueryResult(result_set, stats, plan, trace=trace, obs=recorder)
+
+    # ------------------------------------------------------------------
+    # Concurrent execution (shared cluster)
+    # ------------------------------------------------------------------
+    def submit(self, query, config=None, deadline=None, observe=None):
+        """Queue a query on the shared cluster; returns a :class:`QueryHandle`.
+
+        ``deadline`` bounds the query's virtual runtime in scheduler rounds
+        (relative to its admission); past it the handle's result comes back
+        ``timed_out`` with whatever rows were produced.  Raises
+        :class:`~repro.errors.AdmissionError` when both the concurrency
+        limit and the bounded pending queue are full, and
+        :class:`~repro.errors.ConfigError` for per-query options the
+        concurrent scheduler does not support (faults, recovery,
+        schedule_seed — use :meth:`execute` for those).
+        """
+        self._check_open()
+        run_config = config or self.config
+        if deadline is not None:
+            run_config = run_config.with_(deadline=deadline)
+        if observe is None:
+            observe = run_config.observe
+        if observe is True:
+            recorder = Recorder(run_config)
+        elif observe:
+            recorder = observe
+        else:
+            recorder = None
+        if self._scheduler is None:
+            self._scheduler = ClusterScheduler(self.dgraph, self.config)
+        plan = self.compile(query)
+        sinks = [MachineSink(plan) for _ in range(run_config.num_machines)]
+        task = self._scheduler.submit(
+            plan, lambda m: sinks[m], config=run_config, obs=recorder
+        )
+        handle = QueryHandle(
+            self, task, plan, sinks,
+            query if isinstance(query, str) else None,
+        )
+        self._handles.append(handle)
+        return handle
+
+    def drain(self):
+        """Run the shared cluster until every submitted query finished."""
+        self._check_open()
+        if self._scheduler is not None:
+            self._scheduler.run()
+        return [h for h in self._handles if h.done()]
+
+    @property
+    def cluster_rounds(self):
+        """Global rounds elapsed on the shared cluster clock (0 if unused)."""
+        return 0 if self._scheduler is None else self._scheduler.makespan
+
+    def _drive(self, task):
+        while not task.finished:
+            self._scheduler.step()
+
+    def _cancel(self, task):
+        if self._scheduler is None:
+            return False
+        return self._scheduler.cancel(task)

@@ -1,0 +1,175 @@
+"""Tests for the concurrent multi-query runtime (ClusterScheduler).
+
+The load-bearing property: running queries concurrently perturbs only the
+*schedule*, never the result sets — so every concurrent result must be
+bit-identical to the same query executed solo, sanitizers included.
+"""
+
+import pytest
+
+from repro import AdmissionError, EngineConfig, connect
+from repro.errors import ConfigError
+from repro.graph.generators import chain_graph, random_graph
+from repro.runtime.multi import ClusterScheduler
+from repro.runtime.network import ClusterNetwork
+
+QUERIES = [
+    "SELECT COUNT(*) FROM MATCH (a)-[:LINK]->(b)",
+    "SELECT COUNT(*) FROM MATCH (a)-/:LINK+/->(b)",
+    "SELECT COUNT(*) FROM MATCH (a)-/:LINK{1,3}/->(b)",
+    "SELECT COUNT(*) FROM MATCH (a)-/:LINK{2,4}/->(b)",
+]
+
+
+def _graph(seed=11):
+    return random_graph(50, 150, seed=seed)
+
+
+class TestConcurrentEqualsSequential:
+    @pytest.mark.parametrize("sanitize", [False, True])
+    def test_results_bit_identical_to_solo(self, sanitize):
+        session = connect(
+            _graph(), num_machines=3, sanitize=sanitize,
+            max_concurrent_queries=4,
+        )
+        solo = [session.execute(q).rows for q in QUERIES]
+        handles = [session.submit(q) for q in QUERIES]
+        session.drain()
+        for handle, rows in zip(handles, solo):
+            result = handle.result()
+            assert result.rows == rows
+            assert result.complete
+
+    def test_concurrency_shares_idle_quantum(self):
+        """Interleaving must beat back-to-back sequential makespan."""
+        session = connect(_graph(), num_machines=3, max_concurrent_queries=4)
+        sequential = sum(session.execute(q).stats.rounds for q in QUERIES)
+        handles = [session.submit(q) for q in QUERIES]
+        session.drain()
+        assert all(h.result().complete for h in handles)
+        assert session.cluster_rounds < sequential
+
+    def test_repeated_concurrent_runs_are_deterministic(self):
+        def one_run():
+            session = connect(
+                _graph(), num_machines=3, sanitize=True,
+                max_concurrent_queries=4,
+            )
+            handles = [session.submit(q) for q in QUERIES]
+            session.drain()
+            return (
+                [h.result().rows for h in handles],
+                session.cluster_rounds,
+            )
+
+        first, second = one_run(), one_run()
+        assert first[0] == second[0]
+        assert first[1] == second[1]
+
+    def test_per_query_stats_use_local_clock(self):
+        """A late-submitted query's rounds count from its own admission."""
+        session = connect(chain_graph(12), num_machines=2)
+        solo_rounds = session.execute(
+            "SELECT COUNT(*) FROM MATCH (a)-/:NEXT+/->(b)"
+        ).stats.rounds
+        first = session.submit("SELECT COUNT(*) FROM MATCH (a)-/:NEXT+/->(b)")
+        first.result()
+        second = session.submit("SELECT COUNT(*) FROM MATCH (a)-/:NEXT+/->(b)")
+        stats = second.result().stats
+        # Admitted mid-makespan yet its own clock starts at admission; a
+        # solo-equal workload on an otherwise idle cluster takes the same
+        # virtual time (within the settle tail).
+        assert stats.rounds <= solo_rounds + 4
+        assert first.result().rows == second.result().rows
+
+
+class TestAdmissionControl:
+    def test_admission_error_past_queue_limit(self):
+        session = connect(
+            chain_graph(10), num_machines=2,
+            max_concurrent_queries=1, admission_queue_limit=2,
+        )
+        q = "SELECT COUNT(*) FROM MATCH (a)-/:NEXT+/->(b)"
+        handles = [session.submit(q) for _ in range(3)]  # 1 active + 2 queued
+        with pytest.raises(AdmissionError, match="admission queue full"):
+            session.submit(q)
+        session.drain()
+        rows = [h.result().rows for h in handles]
+        assert rows[0] == rows[1] == rows[2]
+
+    def test_finish_frees_admission_slot(self):
+        session = connect(
+            chain_graph(10), num_machines=2,
+            max_concurrent_queries=1, admission_queue_limit=1,
+        )
+        q = "SELECT COUNT(*) FROM MATCH (a)-[:NEXT]->(b)"
+        first = session.submit(q)
+        second = session.submit(q)
+        first.result()
+        # The queue drained into the freed slot, so there is room again.
+        third = session.submit(q)
+        session.drain()
+        assert second.result().rows == third.result().rows
+
+    def test_cancel_pending_frees_queue_slot(self):
+        session = connect(
+            chain_graph(10), num_machines=2,
+            max_concurrent_queries=1, admission_queue_limit=1,
+        )
+        q = "SELECT COUNT(*) FROM MATCH (a)-/:NEXT+/->(b)"
+        session.submit(q)
+        queued = session.submit(q)
+        assert queued.cancel() is True
+        replacement = session.submit(q)  # no AdmissionError
+        session.drain()
+        assert replacement.result().complete
+
+
+class TestIsolation:
+    def test_channels_are_private_per_query(self):
+        network = ClusterNetwork(2, net_delay_rounds=1)
+        network.open_channel(1, num_slots=1)
+        with pytest.raises(AssertionError):
+            network.open_channel(1, num_slots=1)
+        network.open_channel(2, num_slots=1)
+        assert network.channel(1) is not network.channel(2)
+
+    def test_scheduler_rejects_mismatched_cluster_shape(self):
+        session = connect(chain_graph(8), num_machines=2)
+        scheduler = ClusterScheduler(session.dgraph, session.config)
+        plan = session.compile("SELECT COUNT(*) FROM MATCH (a)-[:NEXT]->(b)")
+        with pytest.raises(ConfigError, match="machines"):
+            scheduler.submit(
+                plan, lambda m: None,
+                config=EngineConfig(num_machines=4),
+            )
+        with pytest.raises(ConfigError, match="net_delay_rounds"):
+            scheduler.submit(
+                plan, lambda m: None,
+                config=session.config.with_(net_delay_rounds=3),
+            )
+
+    def test_solo_only_options_rejected(self):
+        session = connect(chain_graph(8), num_machines=2)
+        base = session.config
+        for bad in (
+            base.with_(recovery=True),
+            base.with_(schedule_seed=1),
+        ):
+            with pytest.raises(ConfigError):
+                session.submit(
+                    "SELECT COUNT(*) FROM MATCH (a)-[:NEXT]->(b)", config=bad
+                )
+
+    def test_one_query_failure_spares_the_others(self):
+        """A per-query round-cap breach must not take down its neighbours."""
+        session = connect(_graph(), num_machines=3)
+        doomed = session.submit(
+            "SELECT COUNT(*) FROM MATCH (a)-/:LINK+/->(b)",
+            config=session.config.with_(max_rounds=1),
+        )
+        healthy = session.submit("SELECT COUNT(*) FROM MATCH (a)-[:LINK]->(b)")
+        session.drain()
+        with pytest.raises(Exception, match="max_rounds"):
+            doomed.result()
+        assert healthy.result().complete

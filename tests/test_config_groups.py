@@ -1,0 +1,129 @@
+"""Tests for grouped EngineConfig construction (FlowConfig, ObsConfig,
+FaultConfig, RecoveryConfig) and the value-naming validation messages."""
+
+import pytest
+
+from repro import (
+    EngineConfig,
+    FaultConfig,
+    FlowConfig,
+    ObsConfig,
+    RecoveryConfig,
+)
+from repro.errors import ConfigError
+from repro.faults import FaultPlan
+
+
+class TestGroupExpansion:
+    def test_flow_group_expands_to_flat_fields(self):
+        config = EngineConfig(flow=FlowConfig(batch_size=8, rpq_flow_depth=2))
+        assert config.batch_size == 8
+        assert config.rpq_flow_depth == 2
+        # Untouched group fields take the group's defaults.
+        assert config.buffers_per_machine == FlowConfig().buffers_per_machine
+        # The group attribute itself is consumed during expansion.
+        assert config.flow is None
+
+    def test_obs_group_expands(self):
+        config = EngineConfig(obs=ObsConfig(sanitize=True, schedule_seed=7))
+        assert config.sanitize is True
+        assert config.schedule_seed == 7
+        assert config.observe is False
+
+    def test_fault_group_expands_and_resolves_transport(self):
+        plan = FaultPlan(seed=3, drop_prob=0.05)
+        config = EngineConfig(fault=FaultConfig(faults=plan))
+        assert config.faults is plan
+        assert config.transport_enabled  # auto-on with a fault plan
+
+    def test_recovery_group_expands(self):
+        config = EngineConfig(resilience=RecoveryConfig(recovery=True, deadline=500))
+        assert config.recovery is True
+        assert config.deadline == 500
+        assert config.transport_enabled  # recovery needs the ARQ layer
+
+    def test_flat_kwargs_still_work_unchanged(self):
+        config = EngineConfig(batch_size=16, sanitize=True, deadline=100)
+        assert (config.batch_size, config.sanitize, config.deadline) == (
+            16, True, 100,
+        )
+
+    def test_flat_kwarg_agreeing_with_group_is_fine(self):
+        config = EngineConfig(batch_size=8, flow=FlowConfig(batch_size=8))
+        assert config.batch_size == 8
+
+    def test_conflicting_flat_kwarg_names_both_values(self):
+        with pytest.raises(ConfigError, match=r"batch_size.*4.*batch_size=8"):
+            EngineConfig(batch_size=4, flow=FlowConfig(batch_size=8))
+
+    def test_wrong_group_type_is_rejected(self):
+        with pytest.raises(ConfigError, match="FlowConfig"):
+            EngineConfig(flow=ObsConfig())
+
+    def test_with_preserves_expanded_values(self):
+        config = EngineConfig(flow=FlowConfig(batch_size=8))
+        bumped = config.with_(num_machines=6)
+        assert bumped.batch_size == 8
+        assert bumped.num_machines == 6
+
+
+class TestRegroupViews:
+    def test_flow_config_roundtrip(self):
+        config = EngineConfig(batch_size=8, buffers_per_machine=64)
+        view = config.flow_config
+        assert isinstance(view, FlowConfig)
+        assert view.batch_size == 8
+        assert view.buffers_per_machine == 64
+        assert EngineConfig(flow=view).batch_size == 8
+
+    def test_obs_and_recovery_views(self):
+        config = EngineConfig(sanitize=True, recovery=True, deadline=99)
+        assert config.obs_config == ObsConfig(sanitize=True)
+        assert config.recovery_config == RecoveryConfig(recovery=True, deadline=99)
+
+    def test_fault_view(self):
+        config = EngineConfig(reliable_transport=True)
+        assert config.fault_config == FaultConfig(reliable_transport=True)
+
+
+class TestValidationMessages:
+    @pytest.mark.parametrize(
+        ("kwargs", "fragment"),
+        [
+            ({"num_machines": 0}, "num_machines must be >= 1 (got 0)"),
+            ({"quantum": -1}, "quantum must be positive (got -1)"),
+            ({"batch_size": 0}, "batch_size must be >= 1 (got 0)"),
+            ({"net_delay_rounds": -2}, "net_delay_rounds must be >= 0 (got -2)"),
+            (
+                {"receive_priority": "lifo"},
+                "receive_priority must be 'depth' or 'fifo' (got 'lifo')",
+            ),
+            (
+                {"max_concurrent_queries": 0},
+                "max_concurrent_queries must be >= 1 (got 0)",
+            ),
+            (
+                {"admission_queue_limit": -1},
+                "admission_queue_limit must be >= 0 (got -1)",
+            ),
+            ({"deadline": 0}, "deadline must be None or a positive int"),
+            (
+                {"status_interval": 0},
+                "status_interval must be >= 1 (got 0)",
+            ),
+        ],
+    )
+    def test_errors_name_field_and_value(self, kwargs, fragment):
+        with pytest.raises(ConfigError) as excinfo:
+            EngineConfig(**kwargs)
+        assert fragment in str(excinfo.value)
+
+    def test_stall_limit_names_both_values(self):
+        with pytest.raises(ConfigError, match="stall_limit.*status_interval"):
+            EngineConfig(status_interval=10, stall_limit=5)
+
+    def test_group_validation_applies_after_expansion(self):
+        # The group carries an invalid value; validation still catches it
+        # with the same message as the flat spelling.
+        with pytest.raises(ConfigError, match="batch_size must be >= 1"):
+            EngineConfig(flow=FlowConfig(batch_size=0))

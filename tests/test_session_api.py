@@ -1,0 +1,196 @@
+"""Tests for the Session/QueryHandle API, the plan cache, and the
+deprecated RPQdEngine shim."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro import (
+    EngineConfig,
+    QueryCancelledError,
+    RPQdEngine,
+    Session,
+    SessionClosedError,
+    connect,
+)
+from repro.errors import ConfigError
+from repro.faults import FaultPlan
+from repro.graph.generators import chain_graph, random_graph
+from repro.plan.cache import PlanCache, normalize_query_text
+
+COUNT_Q = "SELECT COUNT(*) FROM MATCH (a)-[:NEXT]->(b)"
+RPQ_Q = "SELECT COUNT(*) FROM MATCH (a)-/:NEXT+/->(b)"
+
+
+class TestConnect:
+    def test_connect_builds_config_from_kwargs(self):
+        session = connect(chain_graph(6), num_machines=3, sanitize=True)
+        assert session.config.num_machines == 3
+        assert session.config.sanitize is True
+        assert session.dgraph.num_machines == 3
+
+    def test_connect_overrides_explicit_config(self):
+        base = EngineConfig(num_machines=2, batch_size=8)
+        session = connect(chain_graph(6), config=base, batch_size=16)
+        assert session.config.batch_size == 16
+        assert session.config.num_machines == 2
+
+    def test_connect_invalid_kwarg_is_config_error(self):
+        with pytest.raises((ConfigError, TypeError)):
+            connect(chain_graph(6), num_machines=0)
+
+    def test_context_manager_closes(self):
+        with connect(chain_graph(6), num_machines=2) as session:
+            assert session.execute(COUNT_Q).scalar() == 5
+        assert session.closed
+        with pytest.raises(SessionClosedError):
+            session.execute(COUNT_Q)
+        with pytest.raises(SessionClosedError):
+            session.submit(COUNT_Q)
+
+
+class TestExecute:
+    @pytest.fixture
+    def session(self):
+        return connect(chain_graph(8), num_machines=2)
+
+    def test_execute_matches_legacy_engine(self, session):
+        assert session.execute(COUNT_Q).scalar() == 7
+        assert session.execute(RPQ_Q).scalar() == 28
+
+    def test_execute_config_override_repartitions(self, session):
+        result = session.execute(RPQ_Q, config=EngineConfig(num_machines=5))
+        assert result.scalar() == 28
+        assert result.stats.num_machines == 5
+
+
+class TestSubmit:
+    def test_handle_result_matches_execute(self):
+        g = random_graph(40, 120, seed=5)
+        session = connect(g, num_machines=3)
+        q = "SELECT COUNT(*) FROM MATCH (a)-/:LINK{1,4}/->(b)"
+        solo = session.execute(q).scalar()
+        handle = session.submit(q)
+        assert not handle.done()
+        assert handle.result().scalar() == solo
+        assert handle.done()
+        # result() is idempotent (cached).
+        assert handle.result() is handle.result()
+
+    def test_many_handles_interleave_and_all_match(self):
+        g = random_graph(40, 120, seed=5)
+        session = connect(g, num_machines=3, max_concurrent_queries=3)
+        queries = [
+            "SELECT COUNT(*) FROM MATCH (a)-[:LINK]->(b)",
+            "SELECT COUNT(*) FROM MATCH (a)-/:LINK+/->(b)",
+            "SELECT COUNT(*) FROM MATCH (a)-/:LINK{1,2}/->(b)",
+        ]
+        solo = [session.execute(q).rows for q in queries]
+        handles = [session.submit(q) for q in queries]
+        session.drain()
+        assert all(h.done() for h in handles)
+        for h, rows in zip(handles, solo):
+            assert h.result().rows == rows
+
+    def test_cancel_before_running(self):
+        session = connect(chain_graph(8), num_machines=2)
+        handle = session.submit(RPQ_Q)
+        assert handle.cancel() is True
+        assert handle.done() and handle.cancelled()
+        with pytest.raises(QueryCancelledError):
+            handle.result()
+
+    def test_cancel_after_completion_returns_false(self):
+        session = connect(chain_graph(8), num_machines=2)
+        handle = session.submit(COUNT_Q)
+        handle.result()
+        assert handle.cancel() is False
+
+    def test_deadline_produces_timed_out_partial(self):
+        g = random_graph(60, 240, seed=3)
+        session = connect(g, num_machines=3)
+        q = "SELECT COUNT(*) FROM MATCH (a)-/:LINK+/->(b)"
+        handle = session.submit(q, deadline=2)
+        result = handle.result()
+        assert result.timed_out
+        assert result.complete is False
+
+    def test_submit_rejects_solo_only_options(self):
+        session = connect(chain_graph(8), num_machines=2)
+        faulty = session.config.with_(faults=FaultPlan(seed=1, drop_prob=0.1))
+        with pytest.raises(ConfigError):
+            session.submit(COUNT_Q, config=faulty)
+        with pytest.raises(ConfigError):
+            session.submit(COUNT_Q, config=session.config.with_(recovery=True))
+        with pytest.raises(ConfigError):
+            session.submit(COUNT_Q, config=session.config.with_(schedule_seed=3))
+
+    def test_close_cancels_outstanding_handles(self):
+        session = connect(chain_graph(8), num_machines=2)
+        handle = session.submit(RPQ_Q)
+        session.close()
+        assert handle.cancelled()
+
+
+class TestPlanCache:
+    def test_normalization_collapses_whitespace(self):
+        assert (
+            normalize_query_text("SELECT  COUNT(*)\n FROM   MATCH (a)")
+            == "SELECT COUNT(*) FROM MATCH (a)"
+        )
+
+    def test_cache_hit_counting(self):
+        cache = PlanCache()
+        assert cache.lookup("SELECT 1") is None
+        cache.store("SELECT 1", False, object())
+        assert cache.lookup("SELECT 1") is not None
+        assert cache.lookup("  SELECT   1 ") is not None
+        assert (cache.hits, cache.misses) == (2, 1)
+        assert len(cache) == 1
+
+    def test_session_shares_plans_across_execute_and_submit(self):
+        session = connect(chain_graph(8), num_machines=2)
+        p1 = session.compile(COUNT_Q)
+        session.execute(COUNT_Q)
+        handle = session.submit("SELECT  COUNT(*) FROM  MATCH (a)-[:NEXT]->(b)")
+        assert handle.result().scalar() == 7
+        assert session.compile(COUNT_Q) is p1
+        assert session.plan_cache.hits >= 3
+        assert session.plan_cache.misses == 1
+
+
+class TestDeprecatedShim:
+    def test_engine_warns_and_delegates(self):
+        g = chain_graph(8)
+        with pytest.warns(DeprecationWarning, match="repro.connect"):
+            engine = RPQdEngine(g, EngineConfig(num_machines=2))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # no further warnings after init
+            assert engine.execute(COUNT_Q).scalar() == 7
+            assert engine.compile(COUNT_Q) is engine.compile(COUNT_Q)
+            assert "rpq_control" in engine.explain(RPQ_Q)
+            assert engine.config.num_machines == 2
+            assert engine.dgraph.num_machines == 2
+
+    def test_shim_equivalent_to_session(self):
+        g = random_graph(30, 90, seed=9)
+        with pytest.warns(DeprecationWarning):
+            engine = RPQdEngine(g, EngineConfig(num_machines=2))
+        session = Session(g, EngineConfig(num_machines=2))
+        for q in (
+            "SELECT COUNT(*) FROM MATCH (a)-[:LINK]->(b)",
+            "SELECT COUNT(*) FROM MATCH (a)-/:LINK+/->(b)",
+        ):
+            legacy = engine.execute(q)
+            new = session.execute(q)
+            assert legacy.rows == new.rows
+            assert legacy.stats.rounds == new.stats.rounds
+
+    def test_public_exports(self):
+        for name in ("connect", "Session", "QueryHandle", "FlowConfig",
+                     "ObsConfig", "FaultConfig", "RecoveryConfig",
+                     "AdmissionError", "QueryCancelledError",
+                     "SessionClosedError"):
+            assert hasattr(repro, name), name
+            assert name in repro.__all__
