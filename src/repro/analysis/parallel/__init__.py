@@ -1,0 +1,51 @@
+"""Parallel-readiness static analysis (the RPQ100 series).
+
+Certifies the runtime/engine/graph/recovery layers for the upcoming
+process-parallel execution backend (ROADMAP item 1): no shared mutable
+state (RPQ101), no nondeterministic iteration on sink paths (RPQ102), no
+wall-clock/entropy escapes (RPQ103), picklable-by-construction wire
+messages and checkpoints (RPQ104), and no mutation into the shared graph
+store (RPQ105).  Run via ``python -m repro analyze --static``; see
+``docs/analysis.md`` for the rule table, suppression syntax, and baseline
+workflow.
+"""
+
+from .baseline import (
+    apply_baseline,
+    default_baseline_path,
+    load_baseline,
+    save_baseline,
+)
+from .callgraph import SinkTaint
+from .rules import (
+    PARALLEL_RULES,
+    CrossProcessAliasingRule,
+    EntropyEscapeRule,
+    MessagePicklabilityRule,
+    NondeterministicIterationRule,
+    SharedMutableStateRule,
+)
+from .runner import (
+    StaticAnalysisReport,
+    analyze_project,
+    lint_package_with_suppressions,
+    run_static_analysis,
+)
+
+__all__ = [
+    "PARALLEL_RULES",
+    "CrossProcessAliasingRule",
+    "EntropyEscapeRule",
+    "MessagePicklabilityRule",
+    "NondeterministicIterationRule",
+    "SharedMutableStateRule",
+    "SinkTaint",
+    "StaticAnalysisReport",
+    "analyze_project",
+    "apply_baseline",
+    "default_baseline_path",
+    "lint_package_with_suppressions",
+    "load_baseline",
+    "run_static_analysis",
+    "save_baseline",
+]

@@ -1,0 +1,124 @@
+"""RPQ105 — runtime code must not mutate into the shared graph store.
+
+``DistributedGraph`` and the CSR adjacency arrays are the one structure
+every ``Machine`` shares by design — read-only after load.  Under the
+simulator a machine that scribbles into its partition view "works"
+(everyone sees the write, instantly and atomically).  Under the
+process-parallel backend the same arrays live in shared memory (or are
+copied per process), so a runtime-layer write is either a cross-process
+data race or a silently diverging per-process copy.  Either way the
+simulator oracle can no longer certify the run.
+
+Flagged, in ``runtime/`` / ``engine/`` / ``recovery/`` / ``rpq/`` files
+(``graph/`` itself is exempt — loaders and builders legitimately mutate
+while constructing):
+
+* a mutating method call (``append``, ``add``, ``update``, ``pop``, …)
+  whose receiver chain passes through a shared-graph root
+  (``partition``, ``dgraph``, ``csr``, ``nbr``, ``eid``, ``offsets``,
+  ``graph``);
+* a subscript or attribute store into such a chain
+  (``csr.nbr[i] = v``, ``self.partition.graph.labels[x] = y``);
+* rebinding a machine-local reference (``self.partition = ...``) is NOT
+  flagged — swapping which partition a machine reads is how failover
+  re-hosts a logical machine.
+"""
+
+import ast
+
+from ...analysis.linter import LintRule
+from .common import attribute_chain
+
+#: Layers checked (graph/ is exempt: builders mutate during construction).
+RUNTIME_LAYERS = (
+    "repro/runtime/",
+    "repro/engine/",
+    "repro/recovery/",
+    "repro/rpq/",
+)
+
+#: Attribute-chain elements that mark an expression as reaching into the
+#: shared graph store.
+GRAPH_ROOTS = frozenset(
+    {"partition", "dgraph", "_dgraph", "graph", "csr", "out_csr", "in_csr",
+     "nbr", "eid", "offsets", "partitioner"}
+)
+
+#: In-place container mutations.
+MUTATING_METHODS = frozenset(
+    {"append", "extend", "insert", "add", "update", "setdefault", "pop",
+     "popitem", "remove", "discard", "clear", "sort", "reverse"}
+)
+
+
+def _chain_mutates_graph(chain):
+    """True when a *store through* the chain reaches shared graph state.
+
+    The final element is what is being (re)bound; a graph root there means
+    the code is swapping a local reference, not writing into the store.
+    Any root strictly before the final element means the store happens
+    *inside* a shared object.
+    """
+    return any(part in GRAPH_ROOTS for part in chain[:-1])
+
+
+class CrossProcessAliasingRule(LintRule):
+    rule_id = "RPQ105"
+    title = "runtime layers must not mutate the shared DistributedGraph/CSR"
+    rationale = (
+        "the graph store is shared read-only across machines; a runtime "
+        "write is a data race (shared memory) or silent divergence "
+        "(per-process copies) under the parallel backend"
+    )
+
+    def check(self, project):
+        for path, module in project.modules.items():
+            if not any(layer in path for layer in RUNTIME_LAYERS):
+                continue
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Call):
+                    yield from self._check_call(path, node)
+                elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        yield from self._check_store(path, node, target)
+
+    def _check_call(self, path, node):
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in MUTATING_METHODS):
+            return
+        chain = attribute_chain(func.value)
+        if chain and any(part in GRAPH_ROOTS for part in chain):
+            dotted = ".".join(chain)
+            yield self.violation(
+                path,
+                node,
+                f"{dotted}.{func.attr}(...) mutates shared graph state from "
+                "a runtime layer; copy into machine-local state instead",
+            )
+
+    def _check_store(self, path, node, target):
+        if isinstance(target, ast.Subscript):
+            chain = attribute_chain(target.value)
+            if chain and any(part in GRAPH_ROOTS for part in chain):
+                dotted = ".".join(chain)
+                yield self.violation(
+                    path,
+                    node,
+                    f"store into {dotted}[...] writes shared graph state "
+                    "from a runtime layer",
+                )
+        elif isinstance(target, ast.Attribute):
+            chain = attribute_chain(target)
+            if _chain_mutates_graph(chain):
+                dotted = ".".join(chain)
+                yield self.violation(
+                    path,
+                    node,
+                    f"store into {dotted} writes shared graph state from a "
+                    "runtime layer",
+                )

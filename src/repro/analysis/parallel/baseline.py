@@ -1,0 +1,116 @@
+"""Committed-baseline machinery for the parallel-readiness pass.
+
+A baseline is the repo's acknowledged debt: findings that are real but
+deferred, each with a documented reason, committed as JSON so CI fails on
+*new* findings only.  The end state this PR ships is an empty baseline —
+every true finding fixed, every false positive waived inline — but the
+machinery stays so the next rule (or the next regression) degrades the
+gate gracefully instead of blocking unrelated work.
+
+Entries are fingerprinted by ``(rule, path, message)`` — deliberately
+line-number free so unrelated edits shifting a file do not invalidate the
+baseline.  Matching is multiset-style: two identical findings need two
+entries.
+"""
+
+import json
+import pathlib
+from collections import Counter
+
+#: Default committed location, repo-root relative.
+DEFAULT_BASELINE_NAME = "analysis-baseline.json"
+
+
+def default_baseline_path():
+    """The committed baseline next to ``pyproject.toml``.
+
+    Resolved from the package location (``src/repro`` two levels under the
+    repo root); falls back to the current directory for installed trees
+    where no repo root exists.
+    """
+    package_root = pathlib.Path(__file__).resolve().parents[2]
+    for candidate_root in (package_root.parent.parent, pathlib.Path.cwd()):
+        candidate = candidate_root / DEFAULT_BASELINE_NAME
+        if candidate.exists():
+            return candidate
+    return package_root.parent.parent / DEFAULT_BASELINE_NAME
+
+
+def fingerprint(violation):
+    return (violation.rule_id, violation.path, violation.message)
+
+
+def load_baseline(path):
+    """``[entry dict, ...]`` from a baseline file; ``[]`` when absent."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text())
+    entries = data.get("violations", []) if isinstance(data, dict) else data
+    for entry in entries:
+        for key in ("rule", "path", "message"):
+            if key not in entry:
+                raise ValueError(
+                    f"baseline entry missing {key!r}: {entry!r}"
+                )
+    return entries
+
+
+def save_baseline(path, violations, previous_entries=()):
+    """Write ``violations`` as the new baseline, keeping documented reasons.
+
+    Reasons from ``previous_entries`` carry over to matching fingerprints;
+    new entries get an empty reason the committer must fill in (the pass
+    reports, but does not fail on, undocumented baseline entries — the
+    review does).
+    """
+    reasons = {}
+    for entry in previous_entries:
+        key = (entry["rule"], entry["path"], entry["message"])
+        reasons.setdefault(key, entry.get("reason", ""))
+    entries = [
+        {
+            "rule": v.rule_id,
+            "path": v.path,
+            "message": v.message,
+            "reason": reasons.get(fingerprint(v), ""),
+        }
+        for v in violations
+    ]
+    payload = {
+        "comment": (
+            "Acknowledged parallel-readiness (RPQ100-series) findings. "
+            "Every entry needs a reason; fix and remove entries rather "
+            "than letting them rot. Regenerate with: "
+            "python -m repro analyze --static --update-baseline"
+        ),
+        "violations": entries,
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return entries
+
+
+def apply_baseline(violations, entries):
+    """Partition findings into ``(new, baselined)`` against the baseline.
+
+    Also returns ``stale`` — baseline entries no longer matched by any
+    finding, which the pass reports so the baseline shrinks over time.
+    """
+    budget = Counter(
+        (entry["rule"], entry["path"], entry["message"]) for entry in entries
+    )
+    new = []
+    baselined = []
+    for violation in violations:
+        key = fingerprint(violation)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            baselined.append(violation)
+        else:
+            new.append(violation)
+    stale = [
+        {"rule": rule, "path": path, "message": message}
+        for (rule, path, message), count in sorted(budget.items())
+        for _ in range(count)
+    ]
+    return new, baselined, stale

@@ -1,0 +1,103 @@
+"""A lightweight call graph with sink-taint reachability.
+
+The parallel-readiness rules need to know whether a function's behaviour
+can reach an *ordering-sensitive sink* — the places where iteration order
+becomes observable protocol state: result rows, outgoing messages, and
+checkpoint payloads.  Python offers no static type information here, so the
+walk is deliberately name-based and conservative:
+
+* every function/method in the project becomes a node keyed by its bare
+  name (methods of different classes sharing a name are merged — an
+  over-approximation that only ever *adds* taint, never hides it);
+* a call edge ``f -> g`` exists when ``f``'s body contains a call whose
+  trailing name is ``g``;
+* a node is a **direct sink** when its name is in :data:`SINK_FUNCTIONS`
+  or its body constructs one of :data:`SINK_CONSTRUCTORS` or calls one of
+  :data:`SINK_CALLS`;
+* taint is the reverse-reachability fixpoint: a function is tainted when
+  it is a direct sink or calls a tainted function.
+
+False positives are handled by ``# repro: allow[RPQ102] reason`` at the
+iteration site, which keeps the walk simple and the waiver auditable.
+"""
+
+import ast
+
+#: Functions whose *output is* ordered protocol state: anything they do in
+#: iteration order is observable.
+SINK_FUNCTIONS = frozenset(
+    {
+        "checkpoint_state",  # checkpoint payload contents
+        "snapshot",  # termination STATUS snapshot
+        "assemble_results",  # final ResultSet rows
+        "emit_output",  # result row emission
+        "broadcast_status",  # STATUS message fan-out order
+    }
+)
+
+#: Constructing one of these classes puts data on the wire or in the
+#: result set.
+SINK_CONSTRUCTORS = frozenset(
+    {"Batch", "DoneMessage", "StatusMessage", "ResultSet", "ClusterCheckpoint"}
+)
+
+#: Calling one of these methods emits a message or a result row.
+SINK_CALLS = frozenset({"send", "try_emit", "emit_output", "add"})
+
+
+def _function_nodes(project):
+    """``{name: [FunctionDef, ...]}`` over the whole project."""
+    nodes = {}
+    for _path, func in project.walk_functions():
+        nodes.setdefault(func.name, []).append(func)
+    return nodes
+
+
+def _called_names(func):
+    """Trailing names of every call made directly inside ``func``.
+
+    Nested function definitions are included (their calls run, eventually,
+    on behalf of the enclosing function); the walk is syntactic, not
+    control-flow aware.
+    """
+    names = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            callee = node.func
+            if isinstance(callee, ast.Attribute):
+                names.add(callee.attr)
+            elif isinstance(callee, ast.Name):
+                names.add(callee.id)
+    return names
+
+
+class SinkTaint:
+    """The set of project functions from which a sink is reachable."""
+
+    def __init__(self, project):
+        nodes = _function_nodes(project)
+        calls = {name: set() for name in nodes}
+        direct = set()
+        for name, funcs in nodes.items():
+            for func in funcs:
+                called = _called_names(func)
+                calls[name] |= called
+                if (
+                    name in SINK_FUNCTIONS
+                    or called & SINK_CONSTRUCTORS
+                    or called & SINK_CALLS
+                ):
+                    direct.add(name)
+        # Reverse-reachability fixpoint over the name-keyed call graph.
+        tainted = set(direct)
+        changed = True
+        while changed:
+            changed = False
+            for name, called in calls.items():
+                if name not in tainted and called & tainted:
+                    tainted.add(name)
+                    changed = True
+        self.tainted = tainted
+
+    def is_tainted(self, func_name):
+        return func_name in self.tainted

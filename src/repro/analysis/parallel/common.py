@@ -1,0 +1,65 @@
+"""Shared scoping helpers for the parallel-readiness (RPQ100-series) rules.
+
+The pass certifies the layers the upcoming process-parallel backend will
+actually fork: the runtime, the engine, the graph access surface, crash
+recovery, and the RPQ control/index machinery.  Tooling, benchmarks, data
+generation, and the simulator-only baselines stay out of scope — they run
+in the coordinator process and never cross a process boundary.
+"""
+
+import ast
+
+#: Path prefixes (repo-relative, ``/``-separated) of the certified layers.
+PARALLEL_LAYERS = (
+    "repro/runtime/",
+    "repro/engine/",
+    "repro/graph/",
+    "repro/recovery/",
+    "repro/rpq/",
+)
+
+
+def in_parallel_layers(path):
+    """True when ``path`` belongs to a certified layer."""
+    return any(layer in path for layer in PARALLEL_LAYERS)
+
+
+def layer_modules(project):
+    """The subset of ``project.modules`` inside the certified layers."""
+    return {
+        path: module
+        for path, module in project.modules.items()
+        if in_parallel_layers(path)
+    }
+
+
+def enclosing_functions(tree):
+    """``{node: function_name}`` for every node inside a function body."""
+    owner = {}
+
+    def visit(node, current):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            current = node.name
+        for child in ast.iter_child_nodes(node):
+            owner[child] = current
+            visit(child, current)
+
+    visit(tree, None)
+    return owner
+
+
+def attribute_chain(expr):
+    """The dotted name parts of an attribute access, outermost first.
+
+    ``self.partition.graph.vertices`` -> ``["self", "partition", "graph",
+    "vertices"]``; returns ``[]`` when the base is not a plain name chain
+    (calls, subscripts in the middle, …) — callers treat that as unknown.
+    """
+    parts = []
+    while isinstance(expr, ast.Attribute):
+        parts.append(expr.attr)
+        expr = expr.value
+    if isinstance(expr, ast.Name):
+        parts.append(expr.id)
+        return list(reversed(parts))
+    return []

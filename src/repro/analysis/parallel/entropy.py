@@ -1,0 +1,158 @@
+"""RPQ103 — no wall-clock or entropy escapes in the certified layers.
+
+Everything in the runtime rides the virtual clock (scheduler rounds) or a
+seed threaded through config (``schedule_seed``, fault-plan seeds).  A
+wall-clock read or an unseeded random draw is a value the deterministic
+simulator cannot replay — and under the process-parallel backend it also
+differs *between* the worker processes of one run.  ``id()`` is the same
+hazard in disguise: CPython object addresses vary per process and per
+run, so an ``id``-keyed dict or an ``id``-based sort order is
+nondeterministic cross-process even though it looks stable in the
+simulator.
+
+Flagged calls (in certified-layer files only):
+
+* ``time.time`` / ``time.time_ns`` / ``time.monotonic`` /
+  ``time.perf_counter`` (and ``_ns`` variants) — wall-clock reads;
+* ``datetime.now`` / ``datetime.utcnow`` / ``datetime.today`` /
+  ``date.today``;
+* module-level ``random.X(...)`` draws (``random.Random(seed)``
+  construction is the sanctioned seeded path and is not flagged);
+* ``os.urandom``, ``uuid.uuid1``, ``uuid.uuid4``, and any ``secrets.*``;
+* ``id(...)`` — object identity used as a value.
+
+Wall-clock reads that only *report* (bench wall-seconds next to virtual
+rounds) are legitimate; waive them with ``# repro: allow[RPQ103] reason``.
+"""
+
+import ast
+
+from ...analysis.linter import LintRule
+from .common import layer_modules
+
+#: ``module name -> banned attribute calls`` for two-part calls ``m.f()``.
+BANNED_MODULE_CALLS = {
+    "time": frozenset(
+        {
+            "time",
+            "time_ns",
+            "monotonic",
+            "monotonic_ns",
+            "perf_counter",
+            "perf_counter_ns",
+            "process_time",
+        }
+    ),
+    "datetime": frozenset({"now", "utcnow", "today"}),
+    "date": frozenset({"today"}),
+    "os": frozenset({"urandom", "getrandom"}),
+    "uuid": frozenset({"uuid1", "uuid4"}),
+}
+
+#: Unseeded draws on the ``random`` module (``random.Random`` excluded).
+UNSEEDED_RANDOM_CALLS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "randbytes",
+        "getrandbits",
+        "uniform",
+        "gauss",
+        "normalvariate",
+        "choice",
+        "choices",
+        "sample",
+        "shuffle",
+    }
+)
+
+
+def _import_maps(tree):
+    """Resolve import aliases so renaming cannot dodge the ban list.
+
+    Returns ``(module_aliases, from_bindings)``: ``import time as _t``
+    puts ``_t -> time`` in the first map; ``from time import time as now``
+    puts ``now -> (time, time)`` in the second, so the bare call ``now()``
+    is still recognized as ``time.time()``.
+    """
+    module_aliases = {}
+    from_bindings = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                module_aliases[local] = alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            mod = node.module.split(".")[-1]
+            for alias in node.names:
+                from_bindings[alias.asname or alias.name] = (mod, alias.name)
+    return module_aliases, from_bindings
+
+
+class EntropyEscapeRule(LintRule):
+    rule_id = "RPQ103"
+    title = "no wall-clock, unseeded-random, or id() escapes"
+    rationale = (
+        "values outside the virtual clock / schedule_seed cannot be "
+        "replayed by the simulator oracle and differ across worker "
+        "processes"
+    )
+
+    def check(self, project):
+        for path, module in layer_modules(project).items():
+            module_aliases, from_bindings = _import_maps(module.tree)
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if isinstance(func, ast.Name):
+                    if func.id == "id":
+                        yield self.violation(
+                            path,
+                            node,
+                            "id() leaks a per-process object address; use a "
+                            "stable key (vertex id, machine id, seq) instead",
+                        )
+                        continue
+                    bound = from_bindings.get(func.id)
+                    if bound is not None:
+                        mod, attr = bound
+                        if (
+                            mod == "secrets"
+                            or (mod == "random" and attr in UNSEEDED_RANDOM_CALLS)
+                            or attr in BANNED_MODULE_CALLS.get(mod, ())
+                        ):
+                            yield self.violation(
+                                path,
+                                node,
+                                f"{func.id}() is {mod}.{attr}() imported "
+                                "under another name; it reads outside the "
+                                "virtual clock / seeded RNG path",
+                            )
+                    continue
+                if not isinstance(func, ast.Attribute):
+                    continue
+                base = func.value
+                if not isinstance(base, ast.Name):
+                    continue
+                mod, attr = module_aliases.get(base.id, base.id), func.attr
+                if mod == "secrets":
+                    yield self.violation(
+                        path, node, f"secrets.{attr}() is an entropy source"
+                    )
+                elif mod == "random" and attr in UNSEEDED_RANDOM_CALLS:
+                    yield self.violation(
+                        path,
+                        node,
+                        f"random.{attr}() draws from the unseeded global "
+                        "RNG; construct random.Random(seed) from config "
+                        "(schedule_seed / fault-plan seed) instead",
+                    )
+                elif attr in BANNED_MODULE_CALLS.get(mod, ()):
+                    yield self.violation(
+                        path,
+                        node,
+                        f"{mod}.{attr}() reads outside the virtual clock; "
+                        "protocol state must ride scheduler rounds",
+                    )

@@ -1,0 +1,180 @@
+"""RPQ102 — no unsorted set iteration on paths that reach ordered sinks.
+
+Run-based RPQ semantics make the *result set* schedule-independent, but
+the simulator's bit-identical oracle discipline is stricter: message
+emission order, checkpoint payloads, and result assembly must be
+reproducible run to run.  Set iteration order is a function of element
+hashes and insertion history; under one interpreter it is stable enough
+to hide, across OS processes (different insertion interleavings, hash
+randomization for str keys) it is not.  ``dict`` iteration is insertion-
+ordered and therefore deterministic *per process*, but ``.keys()``
+iterated into message emission inherits whatever order messages arrived
+in — so it is held to the same standard.
+
+Flagged, inside functions from which an ordered sink is reachable
+(:mod:`.callgraph`):
+
+* ``for x in S`` / comprehension generators where ``S`` is set-valued;
+* order-sensitive consumers of a set: ``sum``/``list``/``tuple``/
+  ``join``/``enumerate`` (``sum`` over floats is order-dependent);
+* the same over ``.keys()`` of a mapping.
+
+Not flagged: ``sorted(S)``, and order-insensitive consumers (``min``,
+``max``, ``len``, ``any``, ``all``, ``set``, ``frozenset``, membership).
+"""
+
+import ast
+
+from ...analysis.linter import LintRule, call_name
+from .callgraph import SinkTaint
+from .common import enclosing_functions, layer_modules
+
+#: Consumers for which the iteration order of the argument is observable.
+ORDER_SENSITIVE_CONSUMERS = frozenset(
+    {"sum", "list", "tuple", "join", "enumerate"}
+)
+
+#: Set methods that return another set (order-unstable like their owner).
+SET_RETURNING_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+
+def _set_typed_names(tree):
+    """Names/attributes assigned a set value anywhere in the module.
+
+    Tracks ``x = set()``, ``self.seen = {a, b}``, ``x = frozenset(...)``,
+    ``x = a | b`` where an operand is itself set-valued, and augmented
+    ``|=``.  Name-based and flow-insensitive: one set assignment anywhere
+    marks the name for the whole module.
+    """
+    names = set()
+
+    def is_set_value(value):
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(value, ast.Call):
+            name = call_name(value)
+            if name in ("set", "frozenset"):
+                return True
+            if name in SET_RETURNING_METHODS:
+                return True
+        if isinstance(value, ast.BinOp) and isinstance(
+            value.op, (ast.BitOr, ast.BitAnd, ast.Sub)
+        ):
+            return is_set_value(value.left) or is_set_value(value.right)
+        if isinstance(value, (ast.Name, ast.Attribute)):
+            return _target_name(value) in names
+        return False
+
+    def _target_name(target):
+        if isinstance(target, ast.Name):
+            return target.id
+        if isinstance(target, ast.Attribute):
+            return target.attr
+        return None
+
+    # Two passes so forward references through names settle.
+    for _ in range(2):
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and is_set_value(node.value):
+                for target in node.targets:
+                    name = _target_name(target)
+                    if name:
+                        names.add(name)
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd)
+            ):
+                if is_set_value(node.value):
+                    name = _target_name(node.target)
+                    if name:
+                        names.add(name)
+    return names
+
+
+def _describe_iterable(expr):
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return "a set literal"
+    if isinstance(expr, ast.Call):
+        name = call_name(expr)
+        if name == "keys":
+            return ".keys() of a mapping"
+        return f"{name}(...)"
+    if isinstance(expr, ast.Attribute):
+        return f"set-typed attribute {expr.attr!r}"
+    if isinstance(expr, ast.Name):
+        return f"set-typed name {expr.id!r}"
+    return "a set-typed expression"
+
+
+class NondeterministicIterationRule(LintRule):
+    rule_id = "RPQ102"
+    title = "sort set/.keys() iteration feeding results, messages, or checkpoints"
+    rationale = (
+        "set iteration order differs across OS processes; on a path to a "
+        "result/message/checkpoint sink it breaks the bit-identical "
+        "simulator oracle"
+    )
+
+    def check(self, project):
+        taint = SinkTaint(project)
+        for path, module in layer_modules(project).items():
+            set_names = _set_typed_names(module.tree)
+            owner = enclosing_functions(module.tree)
+
+            def is_unstable(expr):
+                if isinstance(expr, (ast.Set, ast.SetComp)):
+                    return True
+                if isinstance(expr, ast.Call):
+                    name = call_name(expr)
+                    if name in ("set", "frozenset", "keys"):
+                        return True
+                    if name in SET_RETURNING_METHODS and isinstance(
+                        expr.func, ast.Attribute
+                    ):
+                        base = expr.func.value
+                        if isinstance(base, (ast.Name, ast.Attribute)):
+                            bname = (
+                                base.id
+                                if isinstance(base, ast.Name)
+                                else base.attr
+                            )
+                            return bname in set_names
+                    return False
+                if isinstance(expr, ast.Name):
+                    return expr.id in set_names
+                if isinstance(expr, ast.Attribute):
+                    return expr.attr in set_names
+                return False
+
+            for node in ast.walk(module.tree):
+                func = owner.get(node)
+                if func is None or not taint.is_tainted(func):
+                    continue
+                sites = []
+                if isinstance(node, ast.For) and is_unstable(node.iter):
+                    sites.append((node, node.iter, "for-loop"))
+                elif isinstance(
+                    # A SetComp's output is itself unordered, so its source
+                    # order is unobservable; list/dict/generator outputs
+                    # preserve (and thus expose) the iteration order.
+                    node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)
+                ):
+                    for gen in node.generators:
+                        if is_unstable(gen.iter):
+                            sites.append((node, gen.iter, "comprehension"))
+                elif isinstance(node, ast.Call):
+                    name = call_name(node)
+                    if name in ORDER_SENSITIVE_CONSUMERS:
+                        for arg in node.args[:1]:
+                            if is_unstable(arg):
+                                sites.append((node, arg, f"{name}()"))
+                for site, iterable, kind in sites:
+                    yield self.violation(
+                        path,
+                        site,
+                        f"{kind} iterates {_describe_iterable(iterable)} in "
+                        f"{func}(), which can reach an ordered sink "
+                        "(results/messages/checkpoints); wrap the iterable "
+                        "in sorted(...)",
+                    )

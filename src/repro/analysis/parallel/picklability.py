@@ -1,0 +1,161 @@
+"""RPQ104 — message and checkpoint fields must be picklable by construction.
+
+The simulator hands message objects between ``Machine`` instances by
+reference; the process-parallel backend will pickle every ``Batch`` /
+``DoneMessage`` / ``StatusMessage`` / ``AckMessage`` onto a real pipe, and
+every ``ClusterCheckpoint`` into the durable store.  A field that holds a
+lambda, a generator, a bound ``self``, or a live iterator works perfectly
+under the simulator and explodes (or worse, silently pulls the whole
+runtime object graph across the boundary) on first real serialization.
+
+The rule is cross-file, like the RPQ001 field-drift rule: it collects the
+field inventory from the class declarations (``runtime/message.py``
+dataclasses plus ``ClusterCheckpoint.__slots__``) and then checks every
+construction keyword and every ``<hint>.<field> = value`` assignment in
+the whole project, where ``<hint>`` is a message-like variable name
+(``batch``, ``msg``, ``new``, ``checkpoint``, …).
+
+Flagged value shapes — things *never* picklable or that capture the live
+runtime:
+
+* ``lambda`` and generator expressions;
+* a bare ``self`` (a machine/worker reference inside a wire message);
+* live-iterator factories: ``iter``/``map``/``filter``/``zip``/
+  ``enumerate``/``reversed``/``open``;
+* thread-synchronization objects: ``Lock``/``RLock``/``Event``/
+  ``Condition``/``Semaphore``.
+"""
+
+import ast
+
+from ...analysis.linter import (
+    LintRule,
+    call_name,
+    dataclass_fields,
+    is_dataclass,
+)
+
+#: Module that declares the wire-protocol dataclasses.
+MESSAGE_MODULE_SUFFIX = "message.py"
+
+#: Extra serialized classes declared outside the message module:
+#: ``class name -> module suffix`` (fields read from ``__slots__``).
+SLOTS_CLASSES = {"ClusterCheckpoint": "checkpoint.py"}
+
+#: Variable-name hints for attribute-assignment checking: assignments to
+#: ``<hint>.<field>`` are treated as message-field writes.
+MESSAGE_BASE_HINTS = frozenset(
+    {"batch", "message", "msg", "done", "status", "ack", "snapshot",
+     "checkpoint", "ckpt", "new", "frame"}
+)
+
+#: Calls whose result holds a live iterator / handle / lock.
+UNPICKLABLE_FACTORIES = frozenset(
+    {"iter", "map", "filter", "zip", "enumerate", "reversed", "open",
+     "Lock", "RLock", "Event", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+
+def _slots_fields(class_node):
+    """Field names from a ``__slots__ = (...)`` class-body assignment."""
+    for stmt in class_node.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        targets = [t.id for t in stmt.targets if isinstance(t, ast.Name)]
+        if "__slots__" not in targets:
+            continue
+        if isinstance(stmt.value, (ast.Tuple, ast.List)):
+            return [
+                elt.value
+                for elt in stmt.value.elts
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+            ]
+    return []
+
+
+def _unpicklable_reason(value):
+    """Why ``value`` is unpicklable by construction, or ``None`` if fine."""
+    if isinstance(value, ast.Lambda):
+        return "a lambda"
+    if isinstance(value, ast.GeneratorExp):
+        return "a generator expression"
+    if isinstance(value, ast.Name) and value.id == "self":
+        return "a bare self reference (drags the live runtime across the wire)"
+    if isinstance(value, ast.Call):
+        name = call_name(value)
+        if name in UNPICKLABLE_FACTORIES:
+            return f"a live {name}() object"
+    return None
+
+
+class MessagePicklabilityRule(LintRule):
+    rule_id = "RPQ104"
+    title = "message/checkpoint fields must be picklable by construction"
+    rationale = (
+        "the process-parallel backend pickles every wire message and "
+        "checkpoint; lambdas, generators, self references, and live "
+        "iterators fail (or over-capture) on first real serialization"
+    )
+
+    def check(self, project):
+        field_owner = {}  # field name -> class name (for attr assignments)
+        class_fields = {}  # class name -> set of fields
+        for path, module in project.modules.items():
+            for node in module.tree.body:
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                fields = None
+                if path.endswith(MESSAGE_MODULE_SUFFIX) and is_dataclass(node):
+                    fields, _required = dataclass_fields(node)
+                elif node.name in SLOTS_CLASSES and path.endswith(
+                    SLOTS_CLASSES[node.name]
+                ):
+                    fields = _slots_fields(node)
+                if fields:
+                    class_fields[node.name] = set(fields)
+                    for field_name in fields:
+                        field_owner.setdefault(field_name, node.name)
+        if not class_fields:
+            return
+        for path, module in project.modules.items():
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Call):
+                    name = call_name(node)
+                    if name in class_fields:
+                        yield from self._check_call(path, node, name)
+                elif isinstance(node, ast.Assign):
+                    yield from self._check_attr_assign(
+                        path, node, field_owner
+                    )
+
+    def _check_call(self, path, node, class_name):
+        for kw in node.keywords:
+            if kw.arg is None:
+                continue
+            reason = _unpicklable_reason(kw.value)
+            if reason:
+                yield self.violation(
+                    path,
+                    node,
+                    f"{class_name}.{kw.arg} is assigned {reason}; wire "
+                    "messages and checkpoints must hold plain data",
+                )
+
+    def _check_attr_assign(self, path, node, field_owner):
+        for target in node.targets:
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in MESSAGE_BASE_HINTS
+                and target.attr in field_owner
+            ):
+                continue
+            reason = _unpicklable_reason(node.value)
+            if reason:
+                yield self.violation(
+                    path,
+                    node,
+                    f"{field_owner[target.attr]}.{target.attr} is assigned "
+                    f"{reason}; wire messages and checkpoints must hold "
+                    "plain data",
+                )

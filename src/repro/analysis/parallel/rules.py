@@ -1,0 +1,29 @@
+"""The parallel-readiness rule catalogue (RPQ101..RPQ105).
+
+RPQ100 itself — a suppression comment with no reason — is emitted by the
+suppression machinery (:mod:`repro.analysis.suppress`), not a rule class.
+"""
+
+from .aliasing import CrossProcessAliasingRule
+from .entropy import EntropyEscapeRule
+from .iteration import NondeterministicIterationRule
+from .picklability import MessagePicklabilityRule
+from .shared_state import SharedMutableStateRule
+
+#: All RPQ100-series rules, in id order.
+PARALLEL_RULES = [
+    SharedMutableStateRule,  # RPQ101
+    NondeterministicIterationRule,  # RPQ102
+    EntropyEscapeRule,  # RPQ103
+    MessagePicklabilityRule,  # RPQ104
+    CrossProcessAliasingRule,  # RPQ105
+]
+
+__all__ = [
+    "PARALLEL_RULES",
+    "CrossProcessAliasingRule",
+    "EntropyEscapeRule",
+    "MessagePicklabilityRule",
+    "NondeterministicIterationRule",
+    "SharedMutableStateRule",
+]

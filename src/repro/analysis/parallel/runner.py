@@ -1,0 +1,129 @@
+"""Orchestration for ``repro analyze --static``.
+
+One entry point, :func:`run_static_analysis`, produces a
+:class:`StaticAnalysisReport` with the full partition of findings:
+
+``new``
+    unsuppressed, unbaselined — these fail the gate (exit code 1);
+``suppressed``
+    waived inline with ``# repro: allow[RPQnnn] reason``;
+``baselined``
+    acknowledged in the committed baseline file;
+``stale_baseline``
+    baseline entries nothing matches any more (report-only: prune them).
+"""
+
+from dataclasses import dataclass, field
+
+from ..linter import Linter, ProjectSource, lint_package
+from ..suppress import missing_reason_violations, split_suppressed
+from .baseline import apply_baseline, load_baseline, save_baseline
+from .rules import PARALLEL_RULES
+
+
+@dataclass
+class StaticAnalysisReport:
+    """Outcome of one parallel-readiness pass."""
+
+    new: list = field(default_factory=list)
+    suppressed: list = field(default_factory=list)
+    baselined: list = field(default_factory=list)
+    stale_baseline: list = field(default_factory=list)
+
+    @property
+    def ok(self):
+        """The gate predicate: no new findings."""
+        return not self.new
+
+    def to_json_dict(self):
+        def rows(violations):
+            return [
+                {
+                    "rule": v.rule_id,
+                    "path": v.path,
+                    "line": v.line,
+                    "message": v.message,
+                }
+                for v in violations
+            ]
+
+        return {
+            "ok": self.ok,
+            "rules": [rule_cls.rule_id for rule_cls in PARALLEL_RULES],
+            "violations": rows(self.new),
+            "suppressed": rows(self.suppressed),
+            "baselined": rows(self.baselined),
+            "stale_baseline": list(self.stale_baseline),
+        }
+
+
+def analyze_project(project):
+    """Run the RPQ100-series rules + suppression filtering on a project.
+
+    Returns ``(kept, suppressed)`` — baseline handling is the caller's
+    (tests exercise rules against in-memory projects with no baseline).
+    """
+    linter = Linter([rule_cls() for rule_cls in PARALLEL_RULES])
+    violations = linter.run(project)
+    violations.extend(missing_reason_violations(project))
+    violations.sort(key=lambda v: (v.path, v.line, v.rule_id))
+    return split_suppressed(project, violations)
+
+
+def run_static_analysis(
+    package_root=None, baseline_path=None, update_baseline=False
+):
+    """The full ``--static`` pipeline over an on-disk package tree."""
+    import pathlib
+
+    if package_root is None:
+        package_root = pathlib.Path(__file__).resolve().parents[2]
+    package_root = pathlib.Path(package_root)
+    if not package_root.is_dir():
+        raise FileNotFoundError(f"no such package directory: {package_root}")
+    project = ProjectSource.from_package(package_root)
+    kept, suppressed = analyze_project(project)
+
+    if baseline_path is None:
+        from .baseline import default_baseline_path
+
+        baseline_path = default_baseline_path()
+    entries = load_baseline(baseline_path)
+    if update_baseline:
+        save_baseline(baseline_path, kept, previous_entries=entries)
+        entries = load_baseline(baseline_path)
+    new, baselined, stale = apply_baseline(kept, entries)
+    return StaticAnalysisReport(
+        new=new,
+        suppressed=suppressed,
+        baselined=baselined,
+        stale_baseline=stale,
+    )
+
+
+def lint_package_with_suppressions(package_root=None, rules=None):
+    """Protocol-lint (RPQ001..) variant of the shared suppression path.
+
+    Same contract as :func:`repro.analysis.lint_package` but returns
+    ``(kept, suppressed)`` with inline waivers applied — what the
+    non-static ``repro analyze`` reports.
+    """
+    import pathlib
+
+    if package_root is None:
+        package_root = pathlib.Path(__file__).resolve().parents[2]
+    package_root = pathlib.Path(package_root)
+    if not package_root.is_dir():
+        raise FileNotFoundError(f"no such package directory: {package_root}")
+    project = ProjectSource.from_package(package_root)
+    violations = Linter(rules).run(project)
+    return split_suppressed(project, violations)
+
+
+__all__ = [
+    "StaticAnalysisReport",
+    "analyze_project",
+    "lint_package_with_suppressions",
+    "run_static_analysis",
+    "lint_package",
+]

@@ -1,0 +1,113 @@
+"""RPQ101 — no shared mutable state in the certified layers.
+
+A module-level mutable container (or a class-level mutable attribute
+shared by all instances) is invisible coupling between ``Machine`` slices:
+under the simulator every machine lives in one interpreter and the shared
+object *happens* to stay consistent, but the process-parallel backend
+forks each partition into its own interpreter where every such object
+silently becomes per-process — counters diverge, caches go stale, and the
+bit-identical oracle comparison against the simulator breaks with no
+error raised anywhere.
+
+Flagged:
+
+* module-level assignment of a mutable container: a ``list``/``dict``/
+  ``set`` display or comprehension, or a call to ``list``/``dict``/
+  ``set``/``defaultdict``/``deque``/``Counter``/``OrderedDict``, or a
+  stateful iterator factory (``itertools.count``);
+* class-level (non-dataclass-field) assignment of the same — one object
+  shared by every instance of the class.
+
+``__all__`` is exempt (import machinery, read-only by convention), as are
+``TYPE_CHECKING`` blocks and tuple/frozenset displays (immutable).
+"""
+
+import ast
+
+from ...analysis.linter import LintRule, call_name
+from .common import layer_modules
+
+#: Constructor calls that produce a shared mutable object.
+MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "defaultdict", "deque", "Counter", "OrderedDict",
+     "count", "cycle"}
+)
+
+#: Module-level names that are mutable by type but read-only by strong
+#: convention and consumed only by the import system.
+EXEMPT_NAMES = frozenset({"__all__"})
+
+
+def _is_mutable_value(value):
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        return call_name(value) in MUTABLE_FACTORIES
+    return False
+
+
+def _describe(value):
+    if isinstance(value, ast.Call):
+        return f"call to {call_name(value)}()"
+    return type(value).__name__.lower()
+
+
+class SharedMutableStateRule(LintRule):
+    rule_id = "RPQ101"
+    title = "no module- or class-level mutable state in certified layers"
+    rationale = (
+        "a process-parallel backend forks each partition into its own "
+        "interpreter; module/class-level mutable objects silently become "
+        "per-process and diverge"
+    )
+
+    def check(self, project):
+        for path, module in layer_modules(project).items():
+            yield from self._check_body(
+                path, module.tree.body, scope="module", class_name=None
+            )
+            for node in module.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    yield from self._check_body(
+                        path, node.body, scope="class", class_name=node.name
+                    )
+
+    def _check_body(self, path, body, scope, class_name):
+        for stmt in body:
+            if isinstance(stmt, ast.Assign):
+                targets = [
+                    t.id for t in stmt.targets if isinstance(t, ast.Name)
+                ]
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                if scope == "class":
+                    # Annotated class attributes are dataclass/NamedTuple
+                    # field declarations; instance state, not shared state.
+                    continue
+                targets = (
+                    [stmt.target.id]
+                    if isinstance(stmt.target, ast.Name)
+                    else []
+                )
+                value = stmt.value
+            else:
+                continue
+            if value is None or not _is_mutable_value(value):
+                continue
+            for name in targets:
+                if name in EXEMPT_NAMES:
+                    continue
+                where = (
+                    f"class attribute {class_name}.{name}"
+                    if scope == "class"
+                    else f"module-level {name}"
+                )
+                yield self.violation(
+                    path,
+                    stmt,
+                    f"{where} is a shared mutable object "
+                    f"({_describe(value)}); it becomes per-process state "
+                    "under the parallel backend — move it into instance "
+                    "state or make it immutable",
+                )

@@ -1,0 +1,95 @@
+"""Inline lint suppressions: ``# repro: allow[RPQnnn] reason``.
+
+Both rule families — the protocol lint (RPQ001..RPQ006) and the
+parallel-readiness pass (RPQ101..RPQ105) — share one suppression syntax and
+one filtering path, so a finding silenced in source looks the same to every
+reporting surface (text, ``--json``, the baseline differ).
+
+A suppression comment matches a violation when:
+
+* it sits on the violating line or the line immediately above it;
+* its rule id equals the violation's rule id (no wildcard — each waiver
+  names exactly the rule it silences); and
+* it carries a non-empty reason.  A bare ``# repro: allow[RPQ103]`` is not
+  a waiver, it is a reported violation of its own (``RPQ100``): unexplained
+  suppressions rot into permanent blind spots.
+"""
+
+import re
+from dataclasses import dataclass
+
+from .linter import LintViolation
+
+#: One inline waiver: ``# repro: allow[RPQ103] wall-clock reporting only``.
+SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\[(RPQ\d{3})\]\s*(.*?)\s*$")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed waiver comment."""
+
+    rule_id: str
+    path: str
+    line: int
+    reason: str
+
+
+def find_suppressions(path, text):
+    """All waiver comments in one module's source, in line order."""
+    found = []
+    for lineno, line_text in enumerate(text.splitlines(), start=1):
+        match = SUPPRESS_RE.search(line_text)
+        if match:
+            found.append(
+                Suppression(match.group(1), path, lineno, match.group(2))
+            )
+    return found
+
+
+def project_suppressions(project):
+    """``{(path, line): Suppression}`` over a whole :class:`ProjectSource`."""
+    table = {}
+    for path, module in project.modules.items():
+        for supp in find_suppressions(path, module.text):
+            table[(supp.path, supp.line)] = supp
+    return table
+
+
+def missing_reason_violations(project):
+    """RPQ100 findings: waiver comments that carry no reason text."""
+    violations = []
+    for path, module in project.modules.items():
+        for supp in find_suppressions(path, module.text):
+            if not supp.reason:
+                violations.append(
+                    LintViolation(
+                        "RPQ100",
+                        path,
+                        supp.line,
+                        f"suppression allow[{supp.rule_id}] has no reason; "
+                        "every waiver must say why the finding is safe",
+                    )
+                )
+    return violations
+
+
+def split_suppressed(project, violations):
+    """Partition ``violations`` into ``(kept, suppressed)``.
+
+    A violation is suppressed by a reasoned waiver for its rule id on the
+    same line or the line above.  RPQ100 (reasonless waiver) is never
+    itself suppressible.
+    """
+    table = project_suppressions(project)
+    kept = []
+    suppressed = []
+    for violation in violations:
+        matched = None
+        if violation.rule_id != "RPQ100":
+            for line in (violation.line, violation.line - 1):
+                supp = table.get((violation.path, line))
+                if supp is not None and supp.rule_id == violation.rule_id and supp.reason:
+                    matched = supp
+                    break
+        (suppressed if matched else kept).append(violation)
+    return kept, suppressed

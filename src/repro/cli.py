@@ -16,7 +16,12 @@ Subcommands:
   ``query --trace-out`` (Chrome trace JSON or JSONL event log);
 * ``analyze`` — static analysis: the repo-specific protocol lint rules
   (RPQ001..RPQ006) plus ruff/mypy when installed, and optionally the
-  schedule race detector (``--races N``);
+  schedule race detector (``--races N``); ``--static`` instead runs the
+  parallel-readiness pass (RPQ101..RPQ105) against the committed
+  ``analysis-baseline.json`` with inline ``# repro: allow[RPQnnn] reason``
+  suppressions honored by both families; ``--json`` (either mode) emits a
+  machine-readable violation list and exits 1 iff unsuppressed violations
+  exist;
 * ``chaos`` — fault-injection sweep (:mod:`repro.faults`): run benchmark
   queries under seeded lossy fault plans with reliable transport and
   verify every run reproduces the fault-free result set and depth table.
@@ -186,30 +191,98 @@ def cmd_explain(args):
     return 0
 
 
+def _violation_rows(violations):
+    return [
+        {"rule": v.rule_id, "path": v.path, "line": v.line, "message": v.message}
+        for v in violations
+    ]
+
+
+def _cmd_analyze_static(args):
+    """``repro analyze --static``: the parallel-readiness (RPQ100) gate.
+
+    Exit codes are stable for CI: 0 clean (suppressed/baselined findings
+    allowed), 1 when unbaselined violations exist, 2 on usage/IO errors.
+    """
+    from .analysis import run_static_analysis
+
+    try:
+        report = run_static_analysis(
+            package_root=args.path,
+            baseline_path=args.baseline,
+            update_baseline=args.update_baseline,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.json:
+        print(json.dumps(report.to_json_dict(), indent=2))
+        return 0 if report.ok else 1
+    for violation in report.new:
+        print(violation.format())
+    summary = (
+        f"-- parallel-readiness: {len(report.new)} violation(s), "
+        f"{len(report.suppressed)} suppressed, "
+        f"{len(report.baselined)} baselined"
+    )
+    print(summary)
+    for entry in report.stale_baseline:
+        print(
+            f"-- stale baseline entry (prune it): {entry['rule']} "
+            f"{entry['path']}: {entry['message']}"
+        )
+    if report.ok:
+        print("-- parallel-readiness: ok (RPQ101..RPQ105 + RPQ100 waivers)")
+    return 0 if report.ok else 1
+
+
 def cmd_analyze(args):
-    from .analysis import ALL_RULES, lint_package, run_schedule_sweep
+    from .analysis import ALL_RULES, PARALLEL_RULES, run_schedule_sweep
     from .analysis.external import run_external_linters
+    from .analysis.parallel import lint_package_with_suppressions
 
     if args.list_rules:
-        for rule_cls in ALL_RULES:
+        for rule_cls in ALL_RULES + PARALLEL_RULES:
             print(f"{rule_cls.rule_id}  {rule_cls.title}")
             print(f"        {rule_cls.rationale}")
         return 0
 
+    if args.static:
+        return _cmd_analyze_static(args)
+
     rc = 0
     try:
-        violations = lint_package(args.path)
+        violations, suppressed = lint_package_with_suppressions(args.path)
     except FileNotFoundError as exc:
         print(f"error: {exc}")
         return 2
+    if args.json:
+        # Machine-readable contract shared with --static --json: a
+        # violation list plus exit 1 iff unsuppressed violations exist.
+        print(
+            json.dumps(
+                {
+                    "ok": not violations,
+                    "rules": [r.rule_id for r in ALL_RULES],
+                    "violations": _violation_rows(violations),
+                    "suppressed": _violation_rows(suppressed),
+                },
+                indent=2,
+            )
+        )
+        return 0 if not violations else 1
     for violation in violations:
         print(violation.format())
     if violations:
-        print(f"-- protocol lint: {len(violations)} violation(s)")
+        print(
+            f"-- protocol lint: {len(violations)} violation(s), "
+            f"{len(suppressed)} suppressed"
+        )
         rc = 1
     else:
         print("-- protocol lint: ok "
-              f"({len(ALL_RULES)} rules: RPQ001..RPQ00{len(ALL_RULES)})")
+              f"({len(ALL_RULES)} rules: RPQ001..RPQ00{len(ALL_RULES)}, "
+              f"{len(suppressed)} suppressed)")
 
     if not args.no_external:
         rc = max(rc, run_external_linters())
@@ -686,7 +759,8 @@ def build_parser():
 
     p = sub.add_parser(
         "analyze",
-        help="protocol lint rules + ruff/mypy + optional race detector",
+        help="protocol lint rules + ruff/mypy + optional race detector; "
+        "--static runs the parallel-readiness (RPQ100-series) gate",
     )
     p.add_argument(
         "path",
@@ -696,6 +770,31 @@ def build_parser():
     )
     p.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    p.add_argument(
+        "--static",
+        action="store_true",
+        help="run the parallel-readiness pass (RPQ101..RPQ105) against the "
+        "committed baseline; exit 1 iff unbaselined violations exist",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable violation list (exit 1 iff "
+        "unsuppressed violations exist)",
+    )
+    p.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="baseline file for --static (default: analysis-baseline.json "
+        "at the repo root)",
+    )
+    p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="with --static: rewrite the baseline from current findings "
+        "(keeps documented reasons for unchanged entries)",
     )
     p.add_argument(
         "--no-external",

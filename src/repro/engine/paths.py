@@ -142,7 +142,9 @@ def witness_path(graph, src, dst, pattern, min_hops=1, max_hops=None, where=None
 
     def record(frontier, depth):
         nxt = set()
-        for vertex in frontier:
+        # Sorted expansion: which predecessor claims a successor (and hence
+        # the witness path returned) must not depend on set iteration order.
+        for vertex in sorted(frontier):
             for successor, intermediates in successors(vertex):
                 key = (successor, depth)
                 if key not in parents:
@@ -170,7 +172,7 @@ def witness_path(graph, src, dst, pattern, min_hops=1, max_hops=None, where=None
         while frontier and found_level is None:
             depth += 1
             nxt = set()
-            for vertex in frontier:
+            for vertex in sorted(frontier):
                 for successor, intermediates in successors(vertex):
                     if successor in visited or (successor, depth) in parents:
                         continue

@@ -78,13 +78,15 @@ class _AggAccumulator:
             if not values:
                 return None
             if self.func == "sum":
-                return sum(values)
+                # Sorted before summing: float addition is not associative,
+                # so set iteration order would leak into the result.
+                return sum(sorted(values))
             if self.func == "min":
                 return min(values)
             if self.func == "max":
                 return max(values)
             if self.func == "avg":
-                return sum(values) / len(values)
+                return sum(sorted(values)) / len(values)
         if self.func == "count":
             return self.count
         if self.count == 0:

@@ -374,9 +374,15 @@ class Machine:
         ).labels(self.id, stage_idx).inc()
 
     def flush_partials(self):
-        """Flush all non-empty open batches (called when workers idle)."""
+        """Flush all non-empty open batches (called when workers idle).
+
+        Keys are visited in sorted (dst, stage, depth) order so the
+        emission order of timeout-flushed batches is a function of their
+        addresses, not of dict insertion history — which under the
+        process-parallel backend varies with message arrival order.
+        """
         flushed = 0
-        for key in list(self._open.keys()):
+        for key in sorted(self._open.keys()):
             if len(self._open[key]) > 0:
                 if self._flush(key):
                     flushed += 1

@@ -10,6 +10,10 @@ Section 3.4).
 import itertools
 from dataclasses import dataclass, field
 
+# Simulator-wide monotonic tiebreaker for FIFO receive priority.  The
+# parallel backend must not ship raw seq values between processes: the
+# transport re-stamps per-link tseq at the network boundary (ROADMAP-1).
+# repro: allow[RPQ101] per-process counter is a priority tiebreaker only; transport tseq orders the wire
 _seq = itertools.count()
 
 #: Modelled wire overhead per message, bytes.

@@ -105,6 +105,7 @@ class QueryTask:
             for m in range(config.num_machines)
         ]
         self.admitted_round = None  # global round of admission
+        # repro: allow[RPQ103] wall-clock reporting only (RunStats.wall_seconds); never feeds protocol state
         self.started = time.perf_counter()
         self.concluded = [False] * config.num_machines
         self.last_progress_round = 0
@@ -173,6 +174,7 @@ class QueryTask:
         self.stats = RunStats(
             [s.stats for s in self.slices],
             local,
+            # repro: allow[RPQ103] wall-clock reporting only; never feeds protocol state
             time.perf_counter() - self.started,
             self.config,
             quiescent_round=self.quiescent_round,

@@ -112,6 +112,7 @@ class QueryExecution:
 
     def run(self):
         """Run to termination; returns :class:`RunStats`."""
+        # repro: allow[RPQ103] wall-clock reporting only (RunStats.wall_seconds); never feeds protocol state
         started = time.perf_counter()
         round_no = 0
         last_progress = 0
@@ -301,6 +302,7 @@ class QueryExecution:
                 args={"rounds": round_no, "quiescent_round": quiescent_round},
                 round_no=round_no,
             )
+        # repro: allow[RPQ103] wall-clock reporting only; never feeds protocol state
         wall = time.perf_counter() - started
         return RunStats(
             [m.stats for m in self.machines],

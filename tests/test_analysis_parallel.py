@@ -1,0 +1,577 @@
+"""Tests for the parallel-readiness pass (RPQ100 series).
+
+Every rule gets a positive (seeded violation via
+``ProjectSource.from_sources``) and a negative (clean snippet) test; the
+suppression and baseline machinery round-trips; and the final tests pin
+the whole repo RPQ100-clean against the committed baseline — the gate
+``repro analyze --static`` enforces in CI.
+"""
+
+import json
+import pathlib
+
+from repro.analysis import ProjectSource
+from repro.analysis.parallel import (
+    PARALLEL_RULES,
+    analyze_project,
+    apply_baseline,
+    load_baseline,
+    run_static_analysis,
+    save_baseline,
+)
+from repro.analysis.parallel.callgraph import SinkTaint
+from repro.analysis.parallel.rules import (
+    CrossProcessAliasingRule,
+    EntropyEscapeRule,
+    MessagePicklabilityRule,
+    NondeterministicIterationRule,
+    SharedMutableStateRule,
+)
+from repro.analysis.suppress import split_suppressed
+from repro.cli import main
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def run_rule(rule_cls, sources):
+    project = ProjectSource.from_sources(sources)
+    return list(rule_cls().check(project))
+
+
+MESSAGE_MODULE = """
+from dataclasses import dataclass, field
+
+@dataclass
+class Batch:
+    src_machine: int
+    dst_machine: int
+    flow_id: object = None
+    contexts: list = field(default_factory=list)
+"""
+
+
+class TestRPQ101SharedMutableState:
+    def test_flags_module_and_class_level_mutables(self):
+        violations = run_rule(
+            SharedMutableStateRule,
+            {
+                "repro/runtime/cachemod.py": (
+                    "CACHE = {}\n"
+                    "PENDING = set()\n"
+                    "SEQ = count()\n"
+                    "class Pool:\n"
+                    "    shared = []\n"
+                ),
+            },
+        )
+        messages = [v.message for v in violations]
+        assert len(violations) == 4
+        assert any("module-level CACHE" in m for m in messages)
+        assert any("class attribute Pool.shared" in m for m in messages)
+        assert any("call to count()" in m for m in messages)
+
+    def test_clean_module_passes(self):
+        violations = run_rule(
+            SharedMutableStateRule,
+            {
+                "repro/runtime/clean.py": (
+                    "__all__ = ['f']\n"
+                    "LIMIT = 7\n"
+                    "NAMES = ('a', 'b')\n"
+                    "FROZEN = frozenset_placeholder = None\n"
+                    "class Machine:\n"
+                    "    def __init__(self):\n"
+                    "        self.cache = {}\n"
+                ),
+            },
+        )
+        assert violations == []
+
+    def test_outside_certified_layers_ignored(self):
+        violations = run_rule(
+            SharedMutableStateRule,
+            {"repro/bench/tables.py": "ROWS = []\n"},
+        )
+        assert violations == []
+
+
+ITERATION_TAINTED = """
+class Machine:
+    def __init__(self):
+        self.pending = set()
+        self.network = None
+
+    def flush(self):
+        for key in self.pending:
+            self.network.send(key, 0)
+"""
+
+ITERATION_SORTED = """
+class Machine:
+    def __init__(self):
+        self.pending = set()
+        self.network = None
+
+    def flush(self):
+        for key in sorted(self.pending):
+            self.network.send(key, 0)
+"""
+
+ITERATION_UNTAINTED = """
+class Machine:
+    def __init__(self):
+        self.pending = set()
+
+    def count_pending(self):
+        total = 0
+        for key in self.pending:
+            total += 1
+        return total
+"""
+
+
+class TestRPQ102NondeterministicIteration:
+    def test_flags_unsorted_set_iteration_on_sink_path(self):
+        violations = run_rule(
+            NondeterministicIterationRule,
+            {"repro/runtime/machine.py": ITERATION_TAINTED},
+        )
+        assert len(violations) == 1
+        assert "flush()" in violations[0].message
+
+    def test_sorted_iteration_passes(self):
+        violations = run_rule(
+            NondeterministicIterationRule,
+            {"repro/runtime/machine.py": ITERATION_SORTED},
+        )
+        assert violations == []
+
+    def test_iteration_off_sink_paths_not_flagged(self):
+        violations = run_rule(
+            NondeterministicIterationRule,
+            {"repro/runtime/machine.py": ITERATION_UNTAINTED},
+        )
+        assert violations == []
+
+    def test_flags_keys_and_sum_consumers(self):
+        violations = run_rule(
+            NondeterministicIterationRule,
+            {
+                "repro/engine/agg.py": (
+                    "def emit_output(values, table):\n"
+                    "    total = sum(values)\n"
+                    "    order = list(table.keys())\n"
+                    "    return total, order\n"
+                    "def helper():\n"
+                    "    values = set()\n"
+                    "    return values\n"
+                ),
+            },
+        )
+        kinds = sorted(v.message.split()[0] for v in violations)
+        assert kinds == ["list()", "sum()"]
+
+    def test_taint_propagates_through_call_graph(self):
+        project = ProjectSource.from_sources(
+            {
+                "repro/runtime/a.py": (
+                    "def emit_output(x):\n"
+                    "    pass\n"
+                    "def middle(x):\n"
+                    "    emit_output(x)\n"
+                    "def outer(x):\n"
+                    "    middle(x)\n"
+                    "def unrelated(x):\n"
+                    "    return x + 1\n"
+                ),
+            }
+        )
+        taint = SinkTaint(project)
+        assert taint.is_tainted("emit_output")
+        assert taint.is_tainted("middle")
+        assert taint.is_tainted("outer")
+        assert not taint.is_tainted("unrelated")
+
+
+class TestRPQ103EntropyEscapes:
+    def test_flags_wall_clock_random_and_id(self):
+        violations = run_rule(
+            EntropyEscapeRule,
+            {
+                "repro/runtime/clocky.py": (
+                    "import time, random\n"
+                    "def stamp():\n"
+                    "    t = time.time()\n"
+                    "    r = random.random()\n"
+                    "    k = id(t)\n"
+                    "    return t, r, k\n"
+                ),
+            },
+        )
+        rules = [v.message for v in violations]
+        assert len(violations) == 3
+        assert any("time.time()" in m for m in rules)
+        assert any("unseeded global" in m for m in rules)
+        assert any("id() leaks" in m for m in rules)
+
+    def test_seeded_random_and_virtual_clock_pass(self):
+        violations = run_rule(
+            EntropyEscapeRule,
+            {
+                "repro/runtime/seeded.py": (
+                    "import random\n"
+                    "def make_rng(config):\n"
+                    "    return random.Random(config.schedule_seed)\n"
+                ),
+            },
+        )
+        assert violations == []
+
+    def test_wall_clock_outside_layers_not_flagged(self):
+        violations = run_rule(
+            EntropyEscapeRule,
+            {"repro/bench/harness.py": "import time\nW = time.perf_counter()\n"},
+        )
+        assert violations == []
+
+    def test_import_alias_does_not_evade(self):
+        violations = run_rule(
+            EntropyEscapeRule,
+            {
+                "repro/runtime/sneaky.py": (
+                    "import time as _t\n"
+                    "from time import perf_counter as tick\n"
+                    "from random import shuffle\n"
+                    "def stamp(items):\n"
+                    "    shuffle(items)\n"
+                    "    return _t.time(), tick()\n"
+                ),
+            },
+        )
+        messages = [v.message for v in violations]
+        assert len(violations) == 3
+        assert any("time.time()" in m for m in messages)
+        assert any("time.perf_counter()" in m for m in messages)
+        assert any("random.shuffle()" in m for m in messages)
+
+    def test_harmless_from_imports_pass(self):
+        violations = run_rule(
+            EntropyEscapeRule,
+            {
+                "repro/runtime/benign.py": (
+                    "from time import sleep\n"
+                    "from random import Random\n"
+                    "def rng(config):\n"
+                    "    sleep(0)\n"
+                    "    return Random(config.schedule_seed)\n"
+                ),
+            },
+        )
+        assert violations == []
+
+
+class TestRPQ104MessagePicklability:
+    def test_flags_generator_lambda_and_self(self):
+        violations = run_rule(
+            MessagePicklabilityRule,
+            {
+                "repro/runtime/message.py": MESSAGE_MODULE,
+                "repro/runtime/machine.py": (
+                    "def emit(self, dst):\n"
+                    "    b = Batch(src_machine=0, dst_machine=dst,\n"
+                    "              contexts=(x for x in []),\n"
+                    "              flow_id=lambda: 1)\n"
+                    "    batch = b\n"
+                    "    batch.flow_id = self\n"
+                    "    return batch\n"
+                ),
+            },
+        )
+        messages = [v.message for v in violations]
+        assert len(violations) == 3
+        assert any("generator expression" in m for m in messages)
+        assert any("a lambda" in m for m in messages)
+        assert any("bare self reference" in m for m in messages)
+
+    def test_plain_data_construction_passes(self):
+        violations = run_rule(
+            MessagePicklabilityRule,
+            {
+                "repro/runtime/message.py": MESSAGE_MODULE,
+                "repro/runtime/machine.py": (
+                    "def emit(self, dst, ctx):\n"
+                    "    batch = Batch(src_machine=self.id, dst_machine=dst,\n"
+                    "                  contexts=[(0, list(ctx))])\n"
+                    "    batch.flow_id = 17\n"
+                    "    return batch\n"
+                ),
+            },
+        )
+        assert violations == []
+
+    def test_checkpoint_slots_class_covered(self):
+        violations = run_rule(
+            MessagePicklabilityRule,
+            {
+                "repro/recovery/checkpoint.py": (
+                    "class ClusterCheckpoint:\n"
+                    "    __slots__ = ('epoch', 'machines')\n"
+                    "    def __init__(self, epoch, machines):\n"
+                    "        self.epoch = epoch\n"
+                    "        self.machines = machines\n"
+                ),
+                "repro/recovery/manager.py": (
+                    "def cut(self):\n"
+                    "    return ClusterCheckpoint(epoch=1,\n"
+                    "                             machines=iter([]))\n"
+                ),
+            },
+        )
+        assert len(violations) == 1
+        assert "live iter() object" in violations[0].message
+
+
+class TestRPQ105CrossProcessAliasing:
+    def test_flags_mutation_into_shared_graph(self):
+        violations = run_rule(
+            CrossProcessAliasingRule,
+            {
+                "repro/runtime/machine.py": (
+                    "def corrupt(self, v, x):\n"
+                    "    self.partition.graph.labels.append(x)\n"
+                    "    self.csr.nbr[v] = x\n"
+                ),
+            },
+        )
+        assert len(violations) == 2
+        assert any("labels.append" in v.message for v in violations)
+        assert any("csr.nbr[...]" in v.message for v in violations)
+
+    def test_rebinding_local_partition_reference_passes(self):
+        violations = run_rule(
+            CrossProcessAliasingRule,
+            {
+                "repro/runtime/machine.py": (
+                    "def restore(self, partition):\n"
+                    "    self.partition = partition\n"
+                    "    self.state.partition = partition\n"
+                    "    self._open.pop((0, 0, 0), None)\n"
+                ),
+            },
+        )
+        assert violations == []
+
+    def test_graph_layer_builders_exempt(self):
+        violations = run_rule(
+            CrossProcessAliasingRule,
+            {
+                "repro/graph/builder.py": (
+                    "def add(self, x):\n"
+                    "    self.graph.labels.append(x)\n"
+                ),
+            },
+        )
+        assert violations == []
+
+
+class TestSuppressions:
+    def test_same_line_and_line_above_suppress(self):
+        sources = {
+            "repro/runtime/clocky.py": (
+                "import time\n"
+                "def stamp():\n"
+                "    # repro: allow[RPQ103] wall-clock reporting only\n"
+                "    a = time.time()\n"
+                "    b = time.time()  # repro: allow[RPQ103] reporting too\n"
+                "    return a, b\n"
+            ),
+        }
+        project = ProjectSource.from_sources(sources)
+        kept, suppressed = analyze_project(project)
+        assert kept == []
+        assert len(suppressed) == 2
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        sources = {
+            "repro/runtime/clocky.py": (
+                "import time\n"
+                "def stamp():\n"
+                "    # repro: allow[RPQ101] wrong rule\n"
+                "    return time.time()\n"
+            ),
+        }
+        kept, suppressed = analyze_project(ProjectSource.from_sources(sources))
+        assert len(kept) == 1
+        assert suppressed == []
+
+    def test_reasonless_waiver_is_rpq100(self):
+        sources = {
+            "repro/runtime/clocky.py": (
+                "import time\n"
+                "def stamp():\n"
+                "    # repro: allow[RPQ103]\n"
+                "    return time.time()\n"
+            ),
+        }
+        kept, _suppressed = analyze_project(ProjectSource.from_sources(sources))
+        rules = sorted(v.rule_id for v in kept)
+        # The reasonless comment is no waiver (RPQ103 stays) and is itself
+        # flagged (RPQ100).
+        assert rules == ["RPQ100", "RPQ103"]
+
+    def test_protocol_lint_family_shares_the_syntax(self):
+        from repro.analysis import Linter
+        from repro.analysis.rules import ConfigAttributeRule
+
+        sources = {
+            "repro/config.py": (
+                "from dataclasses import dataclass\n"
+                "@dataclass\n"
+                "class EngineConfig:\n"
+                "    batch_size: int = 512\n"
+            ),
+            "repro/runtime/machine.py": (
+                "def f(config):\n"
+                "    # repro: allow[RPQ006] attribute added dynamically in tests\n"
+                "    return config.bogus_field\n"
+            ),
+        }
+        project = ProjectSource.from_sources(sources)
+        violations = Linter([ConfigAttributeRule()]).run(project)
+        assert len(violations) == 1
+        kept, suppressed = split_suppressed(project, violations)
+        assert kept == []
+        assert len(suppressed) == 1
+
+
+class TestBaseline:
+    SOURCES = {
+        "repro/runtime/clocky.py": (
+            "import time\n"
+            "def stamp():\n"
+            "    return time.time()\n"
+        ),
+    }
+
+    def test_round_trip(self, tmp_path):
+        project = ProjectSource.from_sources(self.SOURCES)
+        kept, _ = analyze_project(project)
+        assert len(kept) == 1
+        baseline_file = tmp_path / "baseline.json"
+        save_baseline(baseline_file, kept)
+        entries = load_baseline(baseline_file)
+        new, baselined, stale = apply_baseline(kept, entries)
+        assert new == []
+        assert len(baselined) == 1
+        assert stale == []
+
+    def test_stale_entries_reported(self, tmp_path):
+        project = ProjectSource.from_sources(self.SOURCES)
+        kept, _ = analyze_project(project)
+        baseline_file = tmp_path / "baseline.json"
+        save_baseline(baseline_file, kept)
+        entries = load_baseline(baseline_file)
+        new, baselined, stale = apply_baseline([], entries)
+        assert new == [] and baselined == []
+        assert len(stale) == 1
+
+    def test_reasons_survive_update(self, tmp_path):
+        project = ProjectSource.from_sources(self.SOURCES)
+        kept, _ = analyze_project(project)
+        baseline_file = tmp_path / "baseline.json"
+        entries = save_baseline(baseline_file, kept)
+        entries[0]["reason"] = "documented: bench-only wall clock"
+        baseline_file.write_text(json.dumps({"violations": entries}))
+        save_baseline(
+            baseline_file, kept, previous_entries=load_baseline(baseline_file)
+        )
+        assert (
+            load_baseline(baseline_file)[0]["reason"]
+            == "documented: bench-only wall clock"
+        )
+
+
+class TestStaticCli:
+    def _seed_package(self, tmp_path):
+        pkg = tmp_path / "repro" / "runtime"
+        pkg.mkdir(parents=True)
+        (pkg / "clocky.py").write_text(
+            "import time\n"
+            "def stamp():\n"
+            "    return time.time()\n"
+        )
+        return tmp_path / "repro"
+
+    def test_exit_codes_and_json(self, tmp_path, capsys):
+        package = self._seed_package(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        rc = main(
+            ["analyze", "--static", str(package), "--baseline", str(baseline)]
+        )
+        assert rc == 1
+        capsys.readouterr()
+        rc = main(
+            ["analyze", "--static", str(package), "--baseline", str(baseline),
+             "--json"]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert report["ok"] is False
+        assert report["violations"][0]["rule"] == "RPQ103"
+
+    def test_update_baseline_then_clean(self, tmp_path, capsys):
+        package = self._seed_package(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        rc = main(
+            ["analyze", "--static", str(package), "--baseline", str(baseline),
+             "--update-baseline"]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(
+            ["analyze", "--static", str(package), "--baseline", str(baseline),
+             "--json"]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert report["ok"] is True
+        assert len(report["baselined"]) == 1
+
+    def test_missing_package_is_usage_error(self, tmp_path):
+        rc = main(
+            ["analyze", "--static", str(tmp_path / "nope"),
+             "--baseline", str(tmp_path / "b.json")]
+        )
+        assert rc == 2
+
+    def test_nonstatic_json_contract(self, capsys):
+        rc = main(["analyze", "--no-external", "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert report["ok"] is True
+        assert report["rules"][0] == "RPQ001"
+
+
+class TestRepoIsParallelReady:
+    """The tentpole acceptance gate: the shipped tree is RPQ100-clean."""
+
+    def test_whole_repo_clean_against_committed_baseline(self):
+        report = run_static_analysis(
+            package_root=ROOT / "src" / "repro",
+            baseline_path=ROOT / "analysis-baseline.json",
+        )
+        assert report.new == [], [v.format() for v in report.new]
+        assert report.stale_baseline == []
+
+    def test_committed_baseline_entries_all_documented(self):
+        entries = load_baseline(ROOT / "analysis-baseline.json")
+        undocumented = [e for e in entries if not e.get("reason")]
+        assert undocumented == []
+
+    def test_every_rule_has_id_title_rationale(self):
+        seen = set()
+        for rule_cls in PARALLEL_RULES:
+            assert rule_cls.rule_id.startswith("RPQ10")
+            assert rule_cls.title and rule_cls.rationale
+            seen.add(rule_cls.rule_id)
+        assert seen == {"RPQ101", "RPQ102", "RPQ103", "RPQ104", "RPQ105"}
