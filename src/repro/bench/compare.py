@@ -1,0 +1,165 @@
+"""Regression comparison between two ``BENCH_*.json`` documents.
+
+The trajectory contract: CI (and developers) keep a committed baseline
+document and run :func:`compare_bench` against a freshly produced one.
+Deterministic metrics (virtual rounds, messages) get tight default
+thresholds — any growth beyond rounding is a real algorithmic change.
+Wall-clock gets a generous ratio plus an absolute jitter floor, because
+sub-millisecond cells on shared CI hosts are noise, not signal.
+
+Exit-code contract (enforced by ``repro bench``): 0 no regressions,
+1 regressions found, 2 usage/IO/schema errors (:class:`CompareError`).
+"""
+
+from .suites import SCHEMA_VERSION
+
+#: Default thresholds; override per-call (or via the CLI flags).
+DEFAULT_THRESHOLDS = {
+    # Wall seconds may grow by this ratio before flagging ...
+    "max_wall_ratio": 2.0,
+    # ... but cells where BOTH sides are under this floor are never
+    # flagged (pure timer jitter at that magnitude).
+    "min_wall_seconds": 0.005,
+    # Virtual rounds are deterministic: 5% headroom only.
+    "max_rounds_ratio": 1.05,
+    # Message batching may shift slightly with protocol tweaks.
+    "max_messages_ratio": 1.10,
+}
+
+
+class CompareError(ValueError):
+    """A bench document is unreadable or structurally invalid."""
+
+
+def load_bench(path):
+    """Load and validate a ``BENCH_*.json`` document.
+
+    Raises :class:`CompareError` on IO errors, bad JSON, a missing or
+    mismatched ``schema_version``, or a missing ``queries`` mapping.
+    """
+    import json
+
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise CompareError(f"{path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise CompareError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(doc, dict):
+        raise CompareError(f"{path}: expected a JSON object")
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise CompareError(
+            f"{path}: schema_version {version!r} != supported "
+            f"{SCHEMA_VERSION}"
+        )
+    if not isinstance(doc.get("queries"), dict):
+        raise CompareError(f"{path}: missing 'queries' mapping")
+    return doc
+
+
+def _ratio(cur, base):
+    if base:
+        return cur / base
+    return float("inf") if cur else 1.0
+
+
+def compare_bench(current, baseline, **thresholds):
+    """Diff ``current`` against ``baseline``; returns a report dict.
+
+    Report shape: ``{"ok": bool, "checked": N, "regressions": [...],
+    "notes": [...], "thresholds": {...}}``.  Each regression names the
+    query, the metric, both values, the ratio, and the limit it broke.
+    Queries present in the baseline but absent from the current document
+    are regressions (a silently dropped cell must not pass the gate);
+    queries only in the current document are noted, not flagged.
+    """
+    limits = dict(DEFAULT_THRESHOLDS)
+    unknown = set(thresholds) - set(limits)
+    if unknown:
+        raise CompareError(f"unknown thresholds: {sorted(unknown)}")
+    limits.update(
+        {k: v for k, v in thresholds.items() if v is not None}
+    )
+
+    regressions = []
+    notes = []
+    cur_host = (current.get("host") or {}).get("platform")
+    base_host = (baseline.get("host") or {}).get("platform")
+    if cur_host and base_host and cur_host != base_host:
+        notes.append(
+            f"hosts differ ({cur_host} vs {base_host}); wall-clock "
+            "comparison is indicative only"
+        )
+
+    checked = 0
+    for qname, base_q in baseline["queries"].items():
+        cur_q = current["queries"].get(qname)
+        if cur_q is None:
+            regressions.append({
+                "query": qname, "metric": "presence",
+                "current": None, "baseline": "present",
+                "ratio": None, "limit": None,
+                "detail": "query missing from current document",
+            })
+            continue
+        checked += 1
+        _check_ratio(
+            regressions, qname, "virtual_rounds",
+            cur_q.get("virtual_rounds", 0), base_q.get("virtual_rounds", 0),
+            limits["max_rounds_ratio"],
+        )
+        _check_ratio(
+            regressions, qname, "messages",
+            cur_q.get("messages", 0), base_q.get("messages", 0),
+            limits["max_messages_ratio"],
+        )
+        cur_wall = cur_q.get("median_wall_seconds", 0.0)
+        base_wall = base_q.get("median_wall_seconds", 0.0)
+        floor = limits["min_wall_seconds"]
+        if cur_wall >= floor or base_wall >= floor:
+            _check_ratio(
+                regressions, qname, "median_wall_seconds",
+                cur_wall, base_wall, limits["max_wall_ratio"],
+            )
+    extra = set(current["queries"]) - set(baseline["queries"])
+    if extra:
+        notes.append(f"queries not in baseline (unchecked): {sorted(extra)}")
+
+    return {
+        "ok": not regressions,
+        "checked": checked,
+        "regressions": regressions,
+        "notes": notes,
+        "thresholds": limits,
+    }
+
+
+def _check_ratio(regressions, qname, metric, cur, base, limit):
+    ratio = _ratio(cur, base)
+    if ratio > limit:
+        regressions.append({
+            "query": qname, "metric": metric,
+            "current": cur, "baseline": base,
+            "ratio": round(ratio, 4) if ratio != float("inf") else "inf",
+            "limit": limit,
+            "detail": f"{metric} {cur} vs baseline {base} "
+                      f"(x{ratio:.2f} > x{limit})",
+        })
+
+
+def format_compare(report):
+    """Human-readable rendering of a :func:`compare_bench` report."""
+    lines = []
+    for note in report["notes"]:
+        lines.append(f"-- note: {note}")
+    for reg in report["regressions"]:
+        lines.append(f"REGRESSION {reg['query']}: {reg['detail']}")
+    verdict = "ok" if report["ok"] else (
+        f"{len(report['regressions'])} regression(s)"
+    )
+    lines.append(
+        f"-- bench compare: {verdict} ({report['checked']} queries checked)"
+    )
+    return "\n".join(lines)

@@ -5,15 +5,17 @@ each query runs ``repetitions`` times in round-robin order across queries
 Latency here is **virtual time** (scheduler rounds for RPQd, equivalent cost
 units / quantum for the baselines); wall-clock medians are recorded too for
 transparency.  Virtual time is deterministic, so shapes are stable across
-runs and machines.
+runs and machines.  Wall-clock medians exclude ``warmup`` leading
+round-robin passes (import caches, plan caches, and allocator warm-up
+otherwise skew the first pass) and are only meaningful relative to the
+recorded host (:func:`host_info`).
 """
 
+import os
+import platform
 import statistics
 import time
 from dataclasses import dataclass, field
-
-from ..config import EngineConfig
-from ..session import Session
 
 
 @dataclass
@@ -26,7 +28,18 @@ class BenchResult:
     wall_seconds: float = 0.0
     value: object = None  # first row/scalar, for cross-engine validation
     stats: object = None  # last run's stats object
-    samples: list = field(default_factory=list)
+    samples: list = field(default_factory=list)  # (virtual_time, wall) pairs
+    # Methodology provenance: how many measured round-robin passes produced
+    # ``samples`` and how many warm-up passes were discarded before them.
+    repetitions: int = 0
+    warmup: int = 0
+    # Message volume from the last measured run (RPQd only; 0 for baselines,
+    # which never leave one address space).
+    messages: int = 0
+    bytes_sent: int = 0
+    # Wall-clock phase breakdown from the last measured run, when the
+    # executor profiled it (``rpqd_executor(profile=True)``); else None.
+    profile: object = None
     # Completeness propagation (repro.faults / repro.recovery): False when
     # any repetition returned partial results; a partial cell's latency is
     # a lower bound, not a measurement.
@@ -39,22 +52,46 @@ class BenchResult:
     metric_summaries: dict = field(default_factory=dict)
 
 
-class BenchHarness:
-    """Runs a set of named engines over a set of named queries."""
+def host_info():
+    """The machine identity wall-clock numbers are relative to.
 
-    def __init__(self, repetitions=3):
+    Virtual-time results are host-independent; wall seconds are not, so
+    every ``BENCH_*.json`` embeds this dict and :mod:`repro.bench.compare`
+    warns when baselines cross hosts.
+    """
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+class BenchHarness:
+    """Runs a set of named engines over a set of named queries.
+
+    ``warmup`` leading round-robin passes execute every cell but record no
+    samples — medians cover only the ``repetitions`` measured passes.
+    """
+
+    def __init__(self, repetitions=3, warmup=1):
         self.repetitions = repetitions
+        self.warmup = warmup
 
     def run(self, engines, queries):
         """``engines``: {name: execute(query_text) -> result-like};
         ``queries``: {name: text}.  Returns {(engine, query): BenchResult}.
         """
         cells = {
-            (e, q): BenchResult(engine=e, query=q)
+            (e, q): BenchResult(
+                engine=e, query=q,
+                repetitions=self.repetitions, warmup=self.warmup,
+            )
             for e in engines
             for q in queries
         }
-        for _rep in range(self.repetitions):
+        for rep in range(self.warmup + self.repetitions):
+            measured = rep >= self.warmup
             # Round-robin across queries, inner loop over engines, per the
             # paper's methodology (avoids per-query cache warm effects).
             for qname, qtext in queries.items():
@@ -62,9 +99,14 @@ class BenchHarness:
                     started = time.perf_counter()
                     result = execute(qtext)
                     wall = time.perf_counter() - started
+                    if not measured:
+                        continue
                     cell = cells[(ename, qname)]
                     cell.samples.append((result.virtual_time, wall))
                     cell.stats = result.stats
+                    cell.messages = getattr(result.stats, "batches_sent", 0)
+                    cell.bytes_sent = getattr(result.stats, "bytes_sent", 0)
+                    cell.profile = getattr(result.stats, "profile", None)
                     if getattr(result, "complete", True) is False:
                         cell.complete = False
                     if getattr(result, "timed_out", False):
@@ -83,16 +125,24 @@ class BenchHarness:
         return cells
 
 
-def rpqd_executor(graph, machines, quantum=400.0, observe=False, **overrides):
+def rpqd_executor(graph, machines, quantum=400.0, observe=False,
+                  profile=False, **overrides):
     """Executor factory for an RPQd configuration.
 
     With ``observe=True`` every run attaches a fresh
     :class:`repro.obs.Recorder`; the harness copies its histogram summaries
     (batch sizes, flow-control waits, buffer occupancy, ...) onto
-    ``BenchResult.metric_summaries``.  Virtual time is unaffected — the
-    recorder only adds wall-clock overhead.
+    ``BenchResult.metric_summaries``.  With ``profile=True`` every run
+    carries a :class:`repro.obs.PhaseProfiler` and the harness copies the
+    phase breakdown onto ``BenchResult.profile``.  Virtual time is
+    unaffected either way — both only add wall-clock overhead.
     """
-    config = EngineConfig(num_machines=machines, quantum=quantum, **overrides)
+    from ..config import EngineConfig
+    from ..session import Session
+
+    config = EngineConfig(
+        num_machines=machines, quantum=quantum, profile=profile, **overrides
+    )
     engine = Session(graph, config)
 
     def execute(query_text):

@@ -1,0 +1,235 @@
+"""Named benchmark suites and the ``BENCH_*.json`` trajectory format.
+
+:func:`run_suite` drives :class:`~repro.bench.harness.BenchHarness` over a
+named suite (the paper's nine-query workload, the Figure 3 depth sweep, or
+the reachability-index ablation) and returns one schema-versioned JSON
+document — the unit the ``repro bench`` CLI writes to ``BENCH_<suite>.json``
+and :mod:`repro.bench.compare` diffs across commits.
+
+Document shape (``schema_version`` = :data:`SCHEMA_VERSION`)::
+
+    {
+      "schema_version": 1,
+      "suite": "smoke", "scale": "xs", "seed": 7, "machines": 4,
+      "repetitions": 2, "warmup": 1, "profile_enabled": true,
+      "latency_unit": "virtual rounds",
+      "host": {...},                  # wall numbers are relative to this
+      "peak_rss_bytes": 31000000,     # process-wide; None when unsupported
+      "plan_cache": {"hits": H, "misses": M, "hit_rate": H/(H+M)},
+      "queries": {
+        "Q03": {
+          "median_wall_seconds": ..., "virtual_rounds": ...,
+          "messages": ..., "bytes": ..., "peak_rss_bytes": ...,
+          "plan_cache": {"hits": ..., "misses": ...},
+          "profile": {...} | null, "complete": true,
+          "samples": [[rounds, wall], ...]
+        }, ...
+      },
+      "total": {"wall_seconds": ..., "virtual_rounds": ...}
+    }
+
+Virtual rounds, messages, and bytes are deterministic per (suite, scale,
+seed, machines); wall seconds and RSS are host-relative.  Per-query
+``peak_rss_bytes`` is the *process-wide* high-water mark observed after
+that cell finished — RSS never shrinks, so only the trajectory across
+queries is meaningful, not per-query attribution.
+"""
+
+from dataclasses import dataclass
+
+from .harness import BenchHarness, host_info
+
+#: Bump when the document shape changes incompatibly; ``repro bench
+#: --compare`` refuses to diff documents with a different version.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Suite:
+    """A named benchmark configuration."""
+
+    name: str
+    description: str
+    scale: str
+    machines: int
+    repetitions: int
+    warmup: int
+    #: callable(info) -> {query_name: query_text}
+    queries: object
+    #: ((engine_name, EngineConfig override dict), ...); a single entry
+    #: keeps query names bare, multiple entries suffix ``[engine]``.
+    engines: tuple = (("rpqd", {}),)
+
+
+def _workload_queries(info):
+    from ..datagen import BENCHMARK_QUERIES
+
+    return {name: build(info) for name, build in BENCHMARK_QUERIES.items()}
+
+
+def _depth_queries(info):
+    from ..datagen import FIGURE3_HOPS, reply_depth_query
+
+    return {
+        f"reply{lo}..{hi}": reply_depth_query(lo, hi)
+        for lo, hi in FIGURE3_HOPS
+    }
+
+
+def _index_queries(info):
+    from ..datagen import BENCHMARK_QUERIES
+
+    return {
+        name: BENCHMARK_QUERIES[name](info) for name in ("Q09", "Q10")
+    }
+
+
+SUITES = {
+    "smoke": Suite(
+        name="smoke",
+        description="nine-query workload at scale xs (CI gate)",
+        scale="xs", machines=4, repetitions=2, warmup=1,
+        queries=_workload_queries,
+    ),
+    "standard": Suite(
+        name="standard",
+        description="nine-query workload at scale s (the paper's Figure 2)",
+        scale="s", machines=4, repetitions=3, warmup=1,
+        queries=_workload_queries,
+    ),
+    "depth": Suite(
+        name="depth",
+        description="Figure 3 depth sweep: Reply RPQs over (min,max) hops",
+        scale="xs", machines=4, repetitions=2, warmup=1,
+        queries=_depth_queries,
+    ),
+    "index": Suite(
+        name="index",
+        description="reachability-index ablation on the RPQ-heavy queries",
+        scale="xs", machines=4, repetitions=2, warmup=1,
+        queries=_index_queries,
+        engines=(
+            ("rpqd", {}),
+            ("rpqd-noindex", {"use_reachability_index": False}),
+        ),
+    ),
+}
+
+
+def run_suite(name, scale=None, machines=None, repetitions=None,
+              profile=True, seed=7, only=None):
+    """Run suite ``name`` and return the ``BENCH_*.json`` document (a dict).
+
+    ``scale``/``machines``/``repetitions`` override the suite's defaults;
+    ``only`` restricts to an iterable of query names; ``profile=False``
+    drops the per-phase wall-clock breakdown (and its small overhead).
+    Raises ``KeyError`` for an unknown suite and ``ValueError`` for an
+    unknown ``only`` name.
+    """
+    from ..config import EngineConfig
+    from ..datagen import mini_ldbc
+    from ..obs.prof import peak_rss_bytes
+    from ..session import Session
+
+    suite = SUITES[name]
+    scale = scale or suite.scale
+    machines = machines or suite.machines
+    repetitions = repetitions or suite.repetitions
+
+    graph, info = mini_ldbc(scale, seed=seed)
+    queries = suite.queries(info)
+    if only:
+        only = list(only)
+        unknown = [q for q in only if q not in queries]
+        if unknown:
+            raise ValueError(
+                f"unknown queries {unknown} (suite {name!r} has: "
+                f"{', '.join(queries)})"
+            )
+        queries = {q: queries[q] for q in only}
+
+    sessions = {}
+    cache_deltas = {}  # (engine, query) -> [hits, misses]
+    executors = {}
+    for ename, overrides in suite.engines:
+        config = EngineConfig(
+            num_machines=machines, profile=profile, **overrides
+        )
+        session = Session(graph, config)
+        sessions[ename] = session
+        executors[ename] = _counting_executor(session, ename, cache_deltas)
+
+    harness = BenchHarness(repetitions=repetitions, warmup=suite.warmup)
+    cells = harness.run(executors, queries)
+
+    multi_engine = len(suite.engines) > 1
+    query_docs = {}
+    for qname in queries:
+        for ename in executors:
+            cell = cells[(ename, qname)]
+            key = f"{qname}[{ename}]" if multi_engine else qname
+            hits, misses = cache_deltas.get((ename, queries[qname]), (0, 0))
+            query_docs[key] = {
+                "median_wall_seconds": cell.wall_seconds,
+                "virtual_rounds": cell.virtual_time,
+                "messages": cell.messages,
+                "bytes": cell.bytes_sent,
+                "peak_rss_bytes": peak_rss_bytes(),
+                "plan_cache": {"hits": hits, "misses": misses},
+                "profile": cell.profile,
+                "complete": cell.complete,
+                "samples": [list(s) for s in cell.samples],
+            }
+
+    hits = sum(s.plan_cache.hits for s in sessions.values())
+    misses = sum(s.plan_cache.misses for s in sessions.values())
+    lookups = hits + misses
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": name,
+        "description": suite.description,
+        "scale": scale,
+        "seed": seed,
+        "machines": machines,
+        "repetitions": repetitions,
+        "warmup": suite.warmup,
+        "profile_enabled": bool(profile),
+        "latency_unit": "virtual rounds",
+        "host": host_info(),
+        "peak_rss_bytes": peak_rss_bytes(),
+        "plan_cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / lookups) if lookups else None,
+        },
+        "queries": query_docs,
+        "total": {
+            "wall_seconds": sum(
+                q["median_wall_seconds"] for q in query_docs.values()
+            ),
+            "virtual_rounds": sum(
+                q["virtual_rounds"] for q in query_docs.values()
+            ),
+        },
+    }
+
+
+def _counting_executor(session, ename, cache_deltas):
+    """Wrap ``session.execute`` to attribute plan-cache hits per query.
+
+    The harness's round-robin interleaves queries on one shared session, so
+    per-query attribution needs a before/after snapshot around each call.
+    Deltas are keyed by ``(engine, query_text)`` — the harness hands
+    executors the text, not the name — and include warm-up passes (whose
+    compile misses are exactly what the hit rate should expose).
+    """
+
+    def execute(query_text):
+        before = (session.plan_cache.hits, session.plan_cache.misses)
+        result = session.execute(query_text)
+        delta = cache_deltas.setdefault((ename, query_text), [0, 0])
+        delta[0] += session.plan_cache.hits - before[0]
+        delta[1] += session.plan_cache.misses - before[1]
+        return result
+
+    return execute

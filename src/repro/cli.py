@@ -12,6 +12,11 @@ Subcommands:
   ``--concurrency N`` interleaves all nine on one shared cluster through
   the multi-query scheduler and verifies result sets match sequential
   execution, reporting the aggregate makespan of both);
+* ``bench`` — run a named benchmark suite (``smoke``, ``standard``,
+  ``depth``, ``index``) through :mod:`repro.bench` and write a
+  schema-versioned ``BENCH_<suite>.json`` trajectory document;
+  ``--compare BASELINE.json`` gates against a committed baseline with
+  configurable thresholds (exit 0 ok / 1 regression / 2 usage-IO error);
 * ``trace`` — validate and pretty-print a trace file produced by
   ``query --trace-out`` (Chrome trace JSON or JSONL event log);
 * ``analyze`` — static analysis: the repo-specific protocol lint rules
@@ -36,6 +41,9 @@ span-level execution trace (``.jsonl`` extension selects the JSONL event
 log, anything else the Perfetto-loadable Chrome trace JSON) and
 ``--metrics-out FILE`` writes the metrics registry in Prometheus text
 format.  ``--timeline`` prints the per-round ASCII utilization timeline.
+``query --explain-analyze`` prints the EXPLAIN ANALYZE report (actual
+cardinalities beside planner estimates, wall-clock phase breakdown from
+:mod:`repro.obs.prof`) instead of result rows.
 """
 
 import argparse
@@ -120,16 +128,28 @@ def cmd_query(args):
     if query == "-":
         query = sys.stdin.read()
     observe = bool(args.trace_out or args.metrics_out)
-    if (observe or args.timeline) and args.engine != "rpqd":
+    explain_analyze = getattr(args, "explain_analyze", False)
+    if (observe or args.timeline or explain_analyze) and args.engine != "rpqd":
         print(
-            "error: --trace-out/--metrics-out/--timeline require --engine rpqd",
+            "error: --trace-out/--metrics-out/--timeline/--explain-analyze "
+            "require --engine rpqd",
             file=sys.stderr,
         )
         return 2
     if args.engine == "rpqd":
-        result = engine.execute(query, trace=args.timeline, observe=observe or None)
+        result = engine.execute(
+            query, trace=args.timeline, observe=observe or None,
+            profile=True if explain_analyze else None,
+        )
     else:
         result = engine.execute(query)
+    if explain_analyze:
+        # EXPLAIN ANALYZE replaces the row output: the annotated plan with
+        # actual cardinalities, timing, volume, and the phase breakdown.
+        print(result.explain_analyze())
+        if observe:
+            _export_observed(result, engine, args.trace_out, args.metrics_out)
+        return 0
     if args.format == "csv":
         sys.stdout.write(result.result_set.to_csv())
     elif args.format == "json":
@@ -365,6 +385,12 @@ def cmd_workload(args):
             else:
                 row.append(latency)
             record[ename] = latency
+            # Wall-clock is reporting-only (host-relative, nondeterministic)
+            # but rides along for bench trajectories: virtual rounds stay
+            # the primary latency metric.
+            record[f"{ename}_wall_seconds"] = getattr(
+                result.stats, "wall_seconds", None
+            )
         rows.append(row)
         records.append(record)
     if args.json:
@@ -583,6 +609,118 @@ def cmd_chaos(args):
     return 0
 
 
+def cmd_bench(args):
+    """``repro bench``: run a named suite, write ``BENCH_<suite>.json``,
+    optionally compare against a baseline document.
+
+    Exit codes are stable for CI: 0 no regressions (or no compare), 1
+    regressions found, 2 usage/IO/schema errors.
+    """
+    from .bench.compare import (
+        CompareError,
+        compare_bench,
+        format_compare,
+        load_bench,
+    )
+    from .bench.suites import SUITES, run_suite
+
+    thresholds = {
+        "max_wall_ratio": args.max_wall_ratio,
+        "max_rounds_ratio": args.max_rounds_ratio,
+        "max_messages_ratio": args.max_messages_ratio,
+        "min_wall_seconds": args.min_wall_seconds,
+    }
+    try:
+        if args.current:
+            # File-vs-file mode: no run, just the comparison gate.
+            if not args.compare:
+                print("error: --current requires --compare", file=sys.stderr)
+                return 2
+            current = load_bench(args.current)
+        else:
+            only = None
+            if args.queries:
+                only = [q.strip() for q in args.queries.split(",") if q.strip()]
+            try:
+                current = run_suite(
+                    args.suite,
+                    scale=args.scale,
+                    machines=args.machines,
+                    repetitions=args.repetitions,
+                    profile=not args.no_profile,
+                    seed=args.seed,
+                    only=only,
+                )
+            except KeyError:
+                print(
+                    f"error: unknown suite {args.suite!r} "
+                    f"(available: {', '.join(sorted(SUITES))})",
+                    file=sys.stderr,
+                )
+                return 2
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            out = args.out or f"BENCH_{args.suite}.json"
+            try:
+                with open(out, "w") as fh:
+                    json.dump(current, fh, indent=2)
+                    fh.write("\n")
+            except OSError as exc:
+                print(f"error: {out}: {exc}", file=sys.stderr)
+                return 2
+            if args.json:
+                print(json.dumps(current, indent=2))
+            else:
+                _print_bench_table(current)
+                print(f"-- bench written to {out}")
+        if args.compare:
+            baseline = load_bench(args.compare)
+            report = compare_bench(current, baseline, **thresholds)
+            if args.json:
+                print(json.dumps(report, indent=2))
+            else:
+                print(format_compare(report))
+            return 0 if report["ok"] else 1
+    except CompareError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _print_bench_table(doc):
+    """The human-readable ``repro bench`` summary table."""
+    rows = []
+    for qname, q in doc["queries"].items():
+        rows.append([
+            qname + ("" if q.get("complete", True) else "*"),
+            round(q["virtual_rounds"], 1),
+            f"{q['median_wall_seconds'] * 1000:.2f}",
+            q["messages"],
+            q["bytes"],
+        ])
+    cache = doc["plan_cache"]
+    rate = cache["hit_rate"]
+    print(
+        format_table(
+            ["query", "rounds", "wall ms", "messages", "bytes"],
+            rows,
+            title=f"suite {doc['suite']!r} scale {doc['scale']!r} "
+            f"({doc['machines']} machines, {doc['repetitions']} reps + "
+            f"{doc['warmup']} warmup)",
+        )
+    )
+    total = doc["total"]
+    rss = doc.get("peak_rss_bytes")
+    print(
+        f"-- total: {total['virtual_rounds']:.0f} virtual rounds, "
+        f"{total['wall_seconds']:.3f}s wall; plan cache "
+        f"{cache['hits']}/{cache['hits'] + cache['misses']} hits"
+        + (f" ({rate:.0%})" if rate is not None else "")
+        + (f"; peak RSS {rss / 1e6:.0f} MB" if rss else "")
+    )
+
+
 def cmd_trace(args):
     from .obs import load_trace_file, summarize_trace, validate_chrome_trace
 
@@ -620,6 +758,14 @@ def build_parser():
         "--timeline",
         action="store_true",
         help="print the per-round ASCII utilization timeline (rpqd only)",
+    )
+    p.add_argument(
+        "--explain-analyze",
+        action="store_true",
+        help="instead of rows, print the plan annotated with actual "
+        "cardinalities vs planner estimates, timing (virtual + wall), "
+        "message volume, frontier tables, and the wall-clock phase "
+        "breakdown (rpqd only)",
     )
     p.add_argument(
         "--trace-out",
@@ -709,6 +855,70 @@ def build_parser():
         "interleaved query gets its own sanitizer)",
     )
     p.set_defaults(func=cmd_workload)
+
+    p = sub.add_parser(
+        "bench",
+        help="run a named benchmark suite, write schema-versioned "
+        "BENCH_<suite>.json, optionally gate against a baseline "
+        "(exit 0 ok / 1 regression / 2 usage-IO error)",
+    )
+    p.add_argument(
+        "--suite",
+        default="smoke",
+        help="suite name: smoke, standard, depth, index (default: smoke)",
+    )
+    p.add_argument("--scale", choices=["xs", "s", "m", "l"], default=None,
+                   help="override the suite's graph scale")
+    p.add_argument("--machines", type=int, default=None,
+                   help="override the suite's machine count")
+    p.add_argument("--repetitions", type=int, default=None,
+                   help="override the suite's measured repetitions")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--queries", metavar="Q1,Q2",
+        help="restrict to a comma-separated subset of the suite's queries",
+    )
+    p.add_argument(
+        "--no-profile", action="store_true",
+        help="skip the wall-clock phase profiler (drops the per-phase "
+        "breakdown from the document)",
+    )
+    p.add_argument(
+        "--out", metavar="FILE",
+        help="output path (default: BENCH_<suite>.json)",
+    )
+    p.add_argument(
+        "--compare", metavar="BASELINE.json",
+        help="diff the produced (or --current) document against this "
+        "baseline; exit 1 on regressions",
+    )
+    p.add_argument(
+        "--current", metavar="FILE",
+        help="with --compare: diff this existing document instead of "
+        "running the suite",
+    )
+    p.add_argument(
+        "--max-wall-ratio", type=float, default=None, metavar="R",
+        help="wall-clock regression threshold (default: 2.0)",
+    )
+    p.add_argument(
+        "--max-rounds-ratio", type=float, default=None, metavar="R",
+        help="virtual-rounds regression threshold (default: 1.05)",
+    )
+    p.add_argument(
+        "--max-messages-ratio", type=float, default=None, metavar="R",
+        help="message-count regression threshold (default: 1.10)",
+    )
+    p.add_argument(
+        "--min-wall-seconds", type=float, default=None, metavar="S",
+        help="ignore wall regressions when both sides are under this "
+        "floor (default: 0.005)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the document (and compare report) as JSON on stdout",
+    )
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
         "trace",

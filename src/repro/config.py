@@ -71,6 +71,7 @@ class ObsConfig:
     observe: bool = False
     sanitize: bool = False
     schedule_seed: Optional[int] = None
+    profile: bool = False
 
 
 @dataclass(frozen=True)
@@ -150,6 +151,15 @@ class EngineConfig:
             deterministic RNG — the race-detector's interleaving knob
             (:mod:`repro.analysis.races`).  ``None`` keeps the canonical
             deterministic order.
+        profile: attach the wall-clock phase profiler
+            (:mod:`repro.obs.prof`): per-phase aggregate wall time for
+            worker DFT expansion, network delivery/retransmit,
+            reachability-index probes, checkpoint cut/restore, and
+            scheduler accounting, surfaced as ``RunStats.profile`` /
+            ``QueryResult.profile`` and in ``repro bench`` JSON.  Reads
+            only the wall clock — virtual-time results are bit-identical
+            either way, and disabled every hook is a single
+            ``prof is not None`` branch.
         faults: a :class:`repro.faults.FaultPlan` injecting seeded message
             loss / duplication / reordering / delay and machine stalls or
             crashes into the execution (:mod:`repro.faults`).  ``None``
@@ -222,6 +232,8 @@ class EngineConfig:
     observe: bool = False
     sanitize: bool = False
     schedule_seed: Optional[int] = None
+    # Wall-clock phase profiler (:mod:`repro.obs.prof`).
+    profile: bool = False
     # Fault injection + reliable transport (:mod:`repro.faults`).
     faults: Optional[object] = None
     reliable_transport: Optional[bool] = None

@@ -299,8 +299,21 @@ class QueryResult:
         """Virtual makespan in scheduler rounds (the latency metric)."""
         return self.stats.virtual_time
 
+    @property
+    def wall_seconds(self):
+        """Wall-clock duration of the run (reporting only; see profile)."""
+        return self.stats.wall_seconds
+
+    @property
+    def profile(self):
+        """Wall-clock phase breakdown when ``EngineConfig.profile`` was on,
+        else None (:mod:`repro.obs.prof`)."""
+        return getattr(self.stats, "profile", None)
+
     def explain_analyze(self):
-        """The executed plan annotated with actual per-stage match counts."""
+        """The executed plan annotated with planner estimates, actual
+        per-stage match counts, timing, RPQ depth tables, and — when
+        profiling was on — the wall-clock phase breakdown."""
         from ..plan.explain import explain as explain_plan
 
         return explain_plan(self.plan, stats=self.stats)

@@ -8,7 +8,10 @@ The observability layer of the engine (see ``docs/observability.md``):
 * exporters — Chrome trace-event JSON (Perfetto-loadable), JSONL event
   log, Prometheus text format;
 * :func:`validate_chrome_trace` — the trace consistency checker used by
-  tests and CI.
+  tests and CI;
+* :class:`PhaseProfiler` / :func:`peak_rss_bytes` — *wall-clock* phase
+  profiling and process memory (``docs/profiling.md``), orthogonal to the
+  virtual-time tracer and gated by ``EngineConfig(profile=True)``.
 
 Enabled with ``EngineConfig(observe=True)``; when disabled every hook is
 behind a single ``obs is not None`` branch (the sanitizer convention), so
@@ -26,11 +29,16 @@ from .export import (
     write_prometheus,
 )
 from .metrics import MetricsRegistry
+from .prof import PhaseProfiler, format_profile, peak_rss_bytes, profiled
 from .recorder import Recorder
 
 __all__ = [
     "MetricsRegistry",
+    "PhaseProfiler",
     "Recorder",
+    "format_profile",
+    "peak_rss_bytes",
+    "profiled",
     "jsonl_lines",
     "load_trace_file",
     "summarize_trace",

@@ -86,8 +86,21 @@ def write_jsonl(recorder, path):
 
 
 def write_prometheus(recorder, path):
+    from .prof import peak_rss_bytes
+
+    text = recorder.metrics.prometheus_text()
+    if text and not text.endswith("\n"):
+        text += "\n"
+    rss = peak_rss_bytes()
+    if rss is not None:
+        text += (
+            "# HELP repro_peak_rss_bytes Peak resident set size of the "
+            "simulating process (wall-side, not virtual).\n"
+            "# TYPE repro_peak_rss_bytes gauge\n"
+            f"repro_peak_rss_bytes {rss}\n"
+        )
     with open(path, "w") as fh:
-        fh.write(recorder.metrics.prometheus_text())
+        fh.write(text)
 
 
 # ----------------------------------------------------------------------

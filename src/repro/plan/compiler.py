@@ -30,7 +30,8 @@ from .logical import (
     RpqMatchOp,
     VertexMatchOp,
 )
-from .planner import Planner
+from .estimates import annotate_estimates
+from .planner import Planner, conjunct_selectivity
 from .stages import (
     Capture,
     DistributedPlan,
@@ -471,8 +472,10 @@ class PlanCompiler:
         if pv is not None:
             for conjunct in pv.filters:
                 filters.append(compile_expr(conjunct, binder))
+                stage.filter_selectivity *= conjunct_selectivity(conjunct)
         for conjunct in extra_filters:
             filters.append(compile_expr(conjunct, binder))
+            stage.filter_selectivity *= conjunct_selectivity(conjunct)
         stage.filter = _and_filters(filters)
         self._attach_ready_filters(stage)
         return stage
@@ -532,8 +535,13 @@ class PlanCompiler:
             for pending in ready:
                 if pending.compiled is not None:
                     fns.append(pending.compiled)
+                    # Pre-compiled pending filters carry no AST to analyse.
+                    stage.filter_selectivity *= 0.5
                 else:
                     fns.append(compile_expr(pending.conjunct, binder))
+                    stage.filter_selectivity *= conjunct_selectivity(
+                        pending.conjunct
+                    )
             stage.filter = _and_filters(fns)
 
         # Accumulator updates become active at the stage binding their vars.
@@ -857,4 +865,6 @@ class PlanCompiler:
 
 def compile_query(query, graph, scouting=False):
     """Convenience wrapper: parsed query + graph -> DistributedPlan."""
-    return PlanCompiler(query, graph, scouting=scouting).compile()
+    plan = PlanCompiler(query, graph, scouting=scouting).compile()
+    annotate_estimates(plan, graph)
+    return plan

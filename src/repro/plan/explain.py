@@ -3,12 +3,25 @@
 from .stages import HopKind
 
 
-def explain(plan, stats=None):
+def _fmt_est(value):
+    """Compact estimate rendering: integers below 10k, else ~1.2e+06."""
+    if value is None:
+        return "?"
+    if value < 10_000:
+        return f"{value:,.0f}"
+    return f"{value:.1e}"
+
+
+def explain(plan, stats=None, profile=None):
     """Return a multi-line string describing a :class:`DistributedPlan`.
 
     With ``stats`` (a :class:`~repro.runtime.stats.RunStats` from an
-    execution of this plan) each stage line is annotated with its actual
-    match count — an EXPLAIN ANALYZE.
+    execution of this plan) this becomes an EXPLAIN ANALYZE: each stage
+    line carries the planner's cardinality estimate beside the actual
+    match count, and a footer reports timing (virtual rounds *and* wall
+    seconds), message volume, per-RPQ depth/frontier tables, and — when
+    the run was profiled (``EngineConfig.profile`` or an explicit
+    ``profile`` summary dict) — the wall-clock phase breakdown.
     """
     matches = stats.stage_matches if stats is not None else None
     lines = [
@@ -52,7 +65,49 @@ def explain(plan, stats=None):
                     extra = f" control_entry={hop.control_entry}"
                 parts.append(f"=> {hop.kind.value} S{hop.target}{extra}")
         if matches is not None:
-            parts.append(f"[matches={matches.get(stage.index, 0):,}]")
+            parts.append(
+                f"[est~{_fmt_est(stage.estimated_matches)} "
+                f"act={matches.get(stage.index, 0):,}]"
+            )
         lines.append("  " + " ".join(parts))
     lines.append("slots: " + ", ".join(f"{i}:{n}" for i, n in enumerate(plan.slot_names)))
+    if stats is not None:
+        lines.extend(_analyze_footer(plan, stats, profile))
     return "\n".join(lines)
+
+
+def _analyze_footer(plan, stats, profile):
+    """The EXPLAIN ANALYZE epilogue: timing, volume, depths, profile."""
+    lines = ["analyze:"]
+    quiescent = (
+        f" (quiescent at {stats.quiescent_round})"
+        if stats.quiescent_round is not None
+        else ""
+    )
+    lines.append(
+        f"  time: {stats.virtual_time} virtual rounds{quiescent}, "
+        f"{stats.wall_seconds:.4f}s wall"
+    )
+    lines.append(
+        f"  messages: {stats.batches_sent:,} batches, "
+        f"{stats.contexts_sent:,} contexts, {stats.bytes_sent:,} bytes"
+    )
+    for spec in plan.rpq_specs():
+        table = stats.depth_table(spec.rpq_id)
+        if not table:
+            continue
+        lines.append(
+            f"  rpq#{spec.rpq_id} frontier (depth: matches/eliminated/duplicated):"
+        )
+        for depth, matched, eliminated, duplicated in table:
+            lines.append(
+                f"    d{depth}: {matched:,}/{eliminated:,}/{duplicated:,}"
+            )
+    if profile is None:
+        profile = getattr(stats, "profile", None)
+    if profile:
+        from ..obs.prof import format_profile
+
+        lines.append("  profile (wall-clock phases):")
+        lines.append(format_profile(profile, indent="    "))
+    return lines

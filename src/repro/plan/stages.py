@@ -145,6 +145,13 @@ class Stage:
     # at depth d+1), "zero" (feeds depth 0), "any" (all producer depths feed
     # this depth-less stage).
     producers: Tuple[Tuple[int, str], ...] = ()
+    # Planner estimates (EXPLAIN / EXPLAIN ANALYZE).  ``filter_selectivity``
+    # is the combined selectivity of this stage's compiled filters (1.0 when
+    # unfiltered), recorded at compile time since the compiled closures are
+    # opaque; ``estimated_matches`` is the cardinality estimate filled in by
+    # :func:`repro.plan.estimates.annotate_estimates`.
+    filter_selectivity: float = 1.0
+    estimated_matches: Optional[float] = None
 
     @property
     def is_rpq_stage(self):

@@ -49,19 +49,24 @@ noted in docs/recovery.md.
 from collections import Counter
 
 from ..errors import ExecutionError
+from ..obs.prof import profiled
 from .checkpoint import CheckpointStore, ClusterCheckpoint
 
 
 class RecoveryManager:
     """Checkpoint/failover/replay coordinator for one query execution."""
 
-    def __init__(self, machines, network, dgraph, injector, sanitizer=None, obs=None):
+    def __init__(
+        self, machines, network, dgraph, injector, sanitizer=None, obs=None,
+        prof=None,
+    ):
         self.machines = machines
         self.network = network
         self.dgraph = dgraph
         self.injector = injector
         self.sanitizer = sanitizer
         self.obs = obs
+        self.prof = prof
         self.epoch = 0
         self.hosts = list(range(len(machines)))  # logical -> physical
         self.failed_over = set()  # physical hosts permanently lost
@@ -99,6 +104,7 @@ class RecoveryManager:
             out = set(keys) if out is None else out & keys
         return out or set()
 
+    @profiled("ckpt.cut")
     def checkpoint(self, round_no, reason):
         """Cut a global checkpoint of all recoverable state, now."""
         terminated = self._terminated_intersection()
@@ -150,6 +156,7 @@ class RecoveryManager:
     # ------------------------------------------------------------------
     # Failover + rollback + replay
     # ------------------------------------------------------------------
+    @profiled("ckpt.restore")
     def recover(self, dead_physicals, round_no):
         """Handle the permanent loss of ``dead_physicals``.
 

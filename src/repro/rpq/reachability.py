@@ -57,6 +57,7 @@ class ReachabilityIndex:
         sanitizer=None,
         obs=None,
         query_id=0,
+        prof=None,
     ):
         self.machine_id = machine_id
         self.rpq_id = rpq_id
@@ -82,6 +83,22 @@ class ReachabilityIndex:
         self.inserts = 0
         self.updates = 0
         self.hits = 0
+        # Wall-clock profiling (:mod:`repro.obs.prof`): probes are the
+        # hottest index path, so instead of a per-call ``if prof`` branch
+        # the *instance* method is shadowed with the timed variant — the
+        # disabled path is completely untouched.
+        self.prof = prof
+        if prof is not None:
+            self.check_and_update = self._check_and_update_profiled
+
+    def _check_and_update_profiled(self, source_path_id, dst_vertex, depth):
+        prof = self.prof
+        prof.enter("index.probe")
+        outcome = ReachabilityIndex.check_and_update(
+            self, source_path_id, dst_vertex, depth
+        )
+        prof.exit()
+        return outcome
 
     def check_and_update(self, source_path_id, dst_vertex, depth):
         """Atomically consult and update the index for one control-stage visit.

@@ -22,7 +22,7 @@ class Machine:
 
     def __init__(
         self, machine_id, dgraph, plan, config, network, output_sink,
-        sanitizer=None, obs=None, query_id=0,
+        sanitizer=None, obs=None, query_id=0, prof=None,
     ):
         self.id = machine_id
         self.plan = plan
@@ -32,6 +32,7 @@ class Machine:
         self.output_sink = output_sink
         self.sanitizer = sanitizer
         self.obs = obs
+        self.prof = prof
         # Multi-query runtime (:mod:`repro.runtime.multi`): this object is
         # one query's execution state on one simulated machine.  Solo runs
         # use query 0; under the concurrent scheduler a machine hosts one
@@ -75,6 +76,7 @@ class Machine:
                     sanitizer=sanitizer,
                     obs=obs,
                     query_id=query_id,
+                    prof=prof,
                 )
                 self.indexes[stage.rpq.rpq_id] = index
                 self.controllers[stage.index] = RpqController(
@@ -433,7 +435,12 @@ class Machine:
             # the round are sent anyway so sparse stages are not
             # latency-bound on idleness (the real engine sends
             # asynchronously once full *or* on timeout).
+            prof = self.prof
+            if prof is not None:
+                prof.enter("machine.flush")
             flushed = self.flush_partials()
+            if prof is not None:
+                prof.exit()
             if flushed:
                 consumed += self.config.cost.message_fixed * flushed
         self.stats.cost_units += consumed

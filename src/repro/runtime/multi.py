@@ -88,7 +88,7 @@ class QueryTask:
 
     def __init__(
         self, query_id, dgraph, plan, config, sink_factory, channel,
-        sanitizer=None, obs=None,
+        sanitizer=None, obs=None, prof=None,
     ):
         self.query_id = query_id
         self.plan = plan
@@ -96,11 +96,15 @@ class QueryTask:
         self.channel = channel
         self.sanitizer = sanitizer
         self.obs = obs
+        # Cluster-wide profiler shared by every task (the phases measure
+        # the shared round loop, not one query); each task's RunStats gets
+        # a cumulative snapshot at its finish time.
+        self.prof = prof
         self.sinks = [sink_factory(m) for m in range(config.num_machines)]
         self.slices = [
             Machine(
                 m, dgraph, plan, config, channel, self.sinks[m],
-                sanitizer=sanitizer, obs=obs, query_id=query_id,
+                sanitizer=sanitizer, obs=obs, query_id=query_id, prof=prof,
             )
             for m in range(config.num_machines)
         ]
@@ -180,6 +184,9 @@ class QueryTask:
             quiescent_round=self.quiescent_round,
             timed_out=self.timed_out,
             partial=self.partial,
+            # Cumulative cluster-wide phase aggregates as of this query's
+            # finish (the shared round loop is not attributable per query).
+            profile=self.prof.summary() if self.prof is not None else None,
         )
         self.finished = True
         return self.stats
@@ -200,6 +207,12 @@ class ClusterScheduler:
         _check_concurrent_config(base_config)
         self.dgraph = dgraph
         self.config = base_config
+        if base_config.profile:
+            from ..obs.prof import PhaseProfiler  # deferred: obs is optional
+
+            self.prof = PhaseProfiler()
+        else:
+            self.prof = None
         if dgraph.num_machines != base_config.num_machines:
             raise ExecutionError(
                 f"graph partitioned for {dgraph.num_machines} machines but "
@@ -253,12 +266,13 @@ class ClusterScheduler:
         sanitizer = sanitizer_from_config(config, obs=obs)
         channel = self.network.open_channel(
             query_id, plan.num_slots, sanitizer=sanitizer, obs=obs,
+            prof=self.prof,
         )
         if obs is not None:
             obs.configure(config.num_machines, config.quantum)
         task = QueryTask(
             query_id, self.dgraph, plan, config, sink_factory, channel,
-            sanitizer=sanitizer, obs=obs,
+            sanitizer=sanitizer, obs=obs, prof=self.prof,
         )
         self.pending.append(task)
         self._admit()
@@ -312,14 +326,21 @@ class ClusterScheduler:
         self.round_no += 1
         round_no = self.round_no
         finished = []
+        prof = self.prof
 
         # Delivery phase: each slice drains its query's private channel.
+        if prof is not None:
+            prof.enter("sched.deliver")
         for task in self.active:
             for s in task.slices:
                 s.deliver(self.network.drain(s.id, task.query_id, round_no))
+        if prof is not None:
+            prof.exit()
 
         # Execution phase: split each machine's quantum fairly across the
         # query slices hosted on it, work-conserving.
+        if prof is not None:
+            prof.enter("sched.compute")
         consumed_by_task = {task.query_id: 0.0 for task in self.active}
         for m in range(self.config.num_machines):
             slices = [(task, task.slices[m]) for task in self.active]
@@ -328,9 +349,13 @@ class ClusterScheduler:
             consumed = self._run_machine_round(m, round_no, slices)
             for task, _ in slices:
                 consumed_by_task[task.query_id] += consumed[task.query_id]
+        if prof is not None:
+            prof.exit()
 
         # Per-query protocol phase: heartbeats, termination, watchdogs —
         # all on the query's own clock (rounds since admission).
+        if prof is not None:
+            prof.enter("sched.protocol")
         for task in list(self.active):
             if consumed_by_task[task.query_id] > 0.0:
                 task.last_progress_round = round_no
@@ -348,6 +373,8 @@ class ClusterScheduler:
                 task.partial = True
                 task.finalize(round_no)
                 finished.append(task)
+        if prof is not None:
+            prof.exit()
 
         for task in finished:
             self.active.remove(task)

@@ -54,9 +54,11 @@ class SimulatedNetwork:
         retransmit_timeout_rounds=None,
         obs=None,
         sanitizer=None,
+        prof=None,
     ):
         self.num_machines = num_machines
         self.delay = net_delay_rounds
+        self.prof = prof
         self.num_slots = num_slots
         self.reliable = reliable
         self.faults = faults
@@ -190,6 +192,9 @@ class SimulatedNetwork:
         data frames are acked (every copy — a re-ack refreshes a lost ACK)
         and handed up exactly once.
         """
+        prof = self.prof
+        if prof is not None:
+            prof.enter("net.deliver")
         queue = self._queues[machine_id]
         out = []
         while queue and queue[0][0] <= now_round:
@@ -232,6 +237,8 @@ class SimulatedNetwork:
                 if self.sanitizer is not None:
                     self.sanitizer.on_transport_deliver(*key)
             out.append(message)
+        if prof is not None:
+            prof.exit()
         return out
 
     def _send_ack(self, message, now_round):
@@ -255,6 +262,14 @@ class SimulatedNetwork:
         """Retransmit every outstanding frame whose timeout expired."""
         if not self._outstanding:
             return
+        prof = self.prof
+        if prof is not None:
+            prof.enter("net.retransmit")
+        self._tick_outstanding(now_round)
+        if prof is not None:
+            prof.exit()
+
+    def _tick_outstanding(self, now_round):
         for key in sorted(self._outstanding):
             entry = self._outstanding[key]
             if self.settling and entry[3] > now_round:
@@ -460,7 +475,7 @@ class ClusterNetwork:
         self._closed_messages = 0
         self._closed_bytes = 0
 
-    def open_channel(self, query_id, num_slots, sanitizer=None, obs=None):
+    def open_channel(self, query_id, num_slots, sanitizer=None, obs=None, prof=None):
         """Create the per-query channel; returns the SimulatedNetwork."""
         if query_id in self._channels:
             raise AssertionError(f"channel for query {query_id} already open")
@@ -470,6 +485,7 @@ class ClusterNetwork:
             num_slots,
             obs=obs,
             sanitizer=sanitizer,
+            prof=prof,
         )
         self._channels[query_id] = channel
         return channel

@@ -37,7 +37,10 @@ STALL_LIMIT = 400
 class QueryExecution:
     """Executes one compiled plan over a distributed graph."""
 
-    def __init__(self, dgraph, plan, config, sink_factory, trace=None, recorder=None):
+    def __init__(
+        self, dgraph, plan, config, sink_factory, trace=None, recorder=None,
+        prof=None,
+    ):
         if dgraph.num_machines != config.num_machines:
             raise ExecutionError(
                 f"graph partitioned for {dgraph.num_machines} machines but "
@@ -51,6 +54,14 @@ class QueryExecution:
         self.obs = recorder
         if recorder is not None:
             recorder.configure(config.num_machines, config.quantum)
+        # Wall-clock phase profiler: an explicit instance wins, else
+        # config.profile constructs one.  The profiler only reads the wall
+        # clock, so virtual-time results are bit-identical either way.
+        if prof is None and config.profile:
+            from ..obs.prof import PhaseProfiler  # deferred: obs is optional
+
+            prof = PhaseProfiler()
+        self.prof = prof
         self.sanitizer = sanitizer_from_config(config, obs=recorder)
         if config.faults is not None:
             from ..faults import FaultInjector  # deferred: avoids import cycle
@@ -69,6 +80,7 @@ class QueryExecution:
             retransmit_timeout_rounds=config.retransmit_timeout_rounds,
             obs=recorder,
             sanitizer=self.sanitizer,
+            prof=prof,
         )
         # Partial-results epilogue state: set when a permanently-down
         # machine keeps the termination protocol from ever concluding
@@ -86,7 +98,7 @@ class QueryExecution:
         self.machines = [
             Machine(
                 m, dgraph, plan, config, self.network, self.sinks[m],
-                sanitizer=self.sanitizer, obs=recorder,
+                sanitizer=self.sanitizer, obs=recorder, prof=prof,
             )
             for m in range(config.num_machines)
         ]
@@ -98,7 +110,7 @@ class QueryExecution:
 
             self.recovery = RecoveryManager(
                 self.machines, self.network, dgraph, self.injector,
-                sanitizer=self.sanitizer, obs=recorder,
+                sanitizer=self.sanitizer, obs=recorder, prof=prof,
             )
         else:
             self.recovery = None
@@ -119,6 +131,7 @@ class QueryExecution:
         quiescent_round = None
         concluded = [False] * len(self.machines)
         obs = self.obs
+        prof = self.prof
         injector = self.injector
         status_interval = self.config.status_interval
         stall_limit = self.config.stall_limit
@@ -182,10 +195,14 @@ class QueryExecution:
                         for machine in self.machines:
                             concluded[machine.id] = machine.protocol.concluded
                         last_progress = round_no
+            if prof is not None:
+                prof.enter("sched.deliver")
             for machine in self.machines:
                 if not self._machine_up(machine.id, round_no):
                     continue  # messages wait in the network
                 machine.deliver(self.network.drain(machine.id, round_no))
+            if prof is not None:
+                prof.exit()
             rng = self._sched_rng
             service_order = (
                 self.machines
@@ -198,6 +215,8 @@ class QueryExecution:
                 )
             progress = 0.0
             per_machine = [0.0] * len(self.machines)
+            if prof is not None:
+                prof.enter("sched.compute")
             for machine in service_order:
                 if not self._machine_up(machine.id, round_no):
                     machine.stats.stalled_rounds += 1
@@ -210,6 +229,8 @@ class QueryExecution:
                 consumed = machine.run_round(round_no, rng=rng, budget_scale=scale)
                 per_machine[machine.id] = consumed
                 progress += consumed
+            if prof is not None:
+                prof.exit()
             if self.network.reliable:
                 self.network.tick(round_no)
             if self.trace is not None:
@@ -217,6 +238,8 @@ class QueryExecution:
             if obs is not None:
                 obs.record_round(round_no, per_machine)
             if round_no % status_interval == 0:
+                if prof is not None:
+                    prof.enter("sched.protocol")
                 for machine in self.machines:
                     if not self._machine_up(machine.id, round_no):
                         continue  # a down machine broadcasts nothing
@@ -233,6 +256,8 @@ class QueryExecution:
                     if not concluded[machine.id]:
                         concluded[machine.id] = machine.check_termination()
                     done = done and concluded[machine.id]
+                if prof is not None:
+                    prof.exit()
                 if done:
                     if self.trace is not None:
                         self.trace.record_event(
@@ -304,6 +329,8 @@ class QueryExecution:
             )
         # repro: allow[RPQ103] wall-clock reporting only; never feeds protocol state
         wall = time.perf_counter() - started
+        if prof is not None:
+            prof.unwind()  # a deadline abort can leave a phase open
         return RunStats(
             [m.stats for m in self.machines],
             round_no,
@@ -321,6 +348,7 @@ class QueryExecution:
                 self.recovery.summary() if self.recovery is not None else None
             ),
             timed_out=self.timed_out,
+            profile=prof.summary() if prof is not None else None,
         )
 
     def _settle_and_audit(self, round_no):

@@ -100,6 +100,7 @@ class RunStats:
         fault_events=None,
         recovery=None,
         timed_out=False,
+        profile=None,
     ):
         self.per_machine = machine_stats
         self.rounds = rounds
@@ -126,6 +127,11 @@ class RunStats:
         # ``EngineConfig.deadline`` expired before the protocol concluded.
         self.recovery = recovery
         self.timed_out = timed_out
+        # Wall-clock phase breakdown (:mod:`repro.obs.prof`): the
+        # profiler's ``summary()`` dict when ``EngineConfig.profile`` was
+        # on, else None.  Deliberately kept out of :meth:`summary` — wall
+        # time is reporting-only, virtual rounds stay the primary metric.
+        self.profile = profile
 
     # -- aggregation helpers ----------------------------------------------
     def _sum(self, attr):

@@ -128,6 +128,7 @@ class Worker:
         self.rpid_alloc = RpidAllocator(machine.id, worker_id)
         self.blocked = False
         self.obs = machine.obs
+        self.prof = machine.prof
         self._track = worker_id + 1  # obs thread id (0 is the control track)
 
     # ------------------------------------------------------------------
@@ -135,6 +136,15 @@ class Worker:
     # ------------------------------------------------------------------
     def run(self, budget):
         """Execute up to ``budget`` cost units; returns units consumed."""
+        prof = self.prof
+        if prof is None:
+            return self._run_budget(budget)
+        prof.enter("worker.dft")
+        consumed = self._run_budget(budget)
+        prof.exit()
+        return consumed
+
+    def _run_budget(self, budget):
         consumed = 0.0
         obs = self.obs
         if obs is None:

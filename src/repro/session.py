@@ -198,7 +198,7 @@ class Session:
     # ------------------------------------------------------------------
     # Solo execution (exclusive cluster ownership)
     # ------------------------------------------------------------------
-    def execute(self, query, config=None, trace=False, observe=None):
+    def execute(self, query, config=None, trace=False, observe=None, profile=None):
         """Execute one query to completion and return a :class:`QueryResult`.
 
         ``config`` overrides the session's configuration for this run (used
@@ -212,6 +212,12 @@ class Session:
         :class:`~repro.obs.Recorder`, an instance is used as-is, and
         ``None`` defers to ``config.observe``.  The recorder is returned on
         ``result.obs`` for export (Perfetto / JSONL / Prometheus).
+
+        ``profile`` attaches the wall-clock phase profiler
+        (:mod:`repro.obs.prof`) the same way: ``True`` creates a fresh
+        :class:`~repro.obs.PhaseProfiler`, an instance is used as-is
+        (aggregating across runs), ``None`` defers to ``config.profile``.
+        The breakdown lands on ``result.profile``.
         """
         self._check_open()
         run_config = config or self.config
@@ -232,9 +238,22 @@ class Session:
             recorder = observe  # caller-supplied Recorder instance
         else:
             recorder = None
+        if profile is None:
+            profile = run_config.profile
+        elif profile is False and run_config.profile:
+            # Explicit off overrides config.profile for this run.
+            run_config = run_config.with_(profile=False)
+        if profile is True:
+            from .obs.prof import PhaseProfiler
+
+            prof = PhaseProfiler()
+        elif profile:
+            prof = profile  # caller-supplied PhaseProfiler instance
+        else:
+            prof = None
         execution = QueryExecution(
             dgraph, plan, run_config, sink_factory=lambda m: sinks[m],
-            trace=trace, recorder=recorder,
+            trace=trace, recorder=recorder, prof=prof,
         )
         stats = execution.run()
         result_set = assemble_results(

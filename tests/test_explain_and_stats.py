@@ -57,8 +57,11 @@ class TestExplainAnalyze:
             "SELECT COUNT(*) FROM MATCH (a)-/:NEXT+/->(b)"
         )
         text = r.explain_analyze()
-        assert "[matches=10]" in text  # stage 0 matches every vertex
-        assert "[matches=45]" in text  # the exit stage: one per result
+        assert "act=10]" in text  # stage 0 matches every vertex
+        assert "act=45]" in text  # the exit stage: one per result
+        assert "est~" in text  # planner estimates rendered beside actuals
+        assert "virtual rounds" in text  # analyze footer: timing
+        assert "s wall" in text
 
     def test_control_stage_counts_all_entries(self):
         g = chain_graph(5)
@@ -72,9 +75,9 @@ class TestExplainAnalyze:
     def test_plain_explain_has_no_annotations(self):
         g = chain_graph(5)
         engine = RPQdEngine(g, EngineConfig(num_machines=1))
-        assert "[matches=" not in engine.explain(
-            "SELECT COUNT(*) FROM MATCH (a)->(b)"
-        )
+        text = engine.explain("SELECT COUNT(*) FROM MATCH (a)->(b)")
+        assert "act=" not in text
+        assert "analyze:" not in text
 
 
 class TestRunStats:
