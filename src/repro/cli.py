@@ -29,7 +29,10 @@ Subcommands:
   exist;
 * ``chaos`` — fault-injection sweep (:mod:`repro.faults`): run benchmark
   queries under seeded lossy fault plans with reliable transport and
-  verify every run reproduces the fault-free result set and depth table.
+  verify every run reproduces the fault-free result set and depth table;
+  ``--concurrency N`` submits the batch through the multi-query scheduler
+  instead, checking every query against its fault-free *solo* baseline
+  and reporting the cross-query blast radius of permanent crashes.
 
 Fault injection: ``query --faults PLAN.json`` attaches a
 :class:`repro.faults.FaultPlan` (reliable transport switches on
@@ -430,27 +433,49 @@ def _workload_concurrent(args, graph, info, benchmark_queries):
     them all onto one :class:`~repro.runtime.multi.ClusterScheduler` with
     ``max_concurrent_queries=N`` and compares result sets.  Any divergence
     is a determinism bug and exits 1.
+
+    With ``--faults`` (and optionally ``--recover``) the concurrent batch
+    runs under the cluster-level fault plan while the baselines stay
+    fault-free solo runs with reliable transport held on — the
+    chaos-hardened invariant: every query's rows must still match, and
+    the JSON report carries per-query ``complete``/``recoveries``/
+    ``down_machines`` plus the cross-query ``blast_radius``.
     """
-    if getattr(args, "faults", None) or getattr(args, "recover", False):
-        print(
-            "error: --concurrency does not support --faults/--recover "
-            "(fault injection assumes exclusive cluster ownership)",
-            file=sys.stderr,
-        )
-        return 2
+    overrides = {}
+    if getattr(args, "faults", None):
+        from .faults import FaultPlan
+
+        overrides["faults"] = FaultPlan.from_file(args.faults)
+    if getattr(args, "recover", False):
+        overrides["recovery"] = True
+    if getattr(args, "deadline", None):
+        overrides["deadline"] = args.deadline
+    chaos = bool(overrides.get("faults") or overrides.get("recovery"))
     session = connect(
         graph,
         num_machines=args.machines,
         max_concurrent_queries=args.concurrency,
         sanitize=getattr(args, "sanitize", False),
+        **overrides,
     )
+    if chaos:
+        # Baselines must be fault-free (solo, transport held on) or the
+        # oracle would compare chaos against chaos.
+        baseline_session = connect(
+            graph,
+            num_machines=args.machines,
+            sanitize=getattr(args, "sanitize", False),
+            reliable_transport=True,
+        )
+    else:
+        baseline_session = session
     queries = [
         (name, build(info)) for name, build in benchmark_queries.items()
     ]
     sequential = {}
     sequential_makespan = 0
     for name, query in queries:
-        result = session.execute(query)
+        result = baseline_session.execute(query)
         sequential[name] = result
         sequential_makespan += result.stats.rounds
     handles = [(name, session.submit(query)) for name, query in queries]
@@ -464,7 +489,12 @@ def _workload_concurrent(args, graph, info, benchmark_queries):
     identical = True
     for name, handle in handles:
         result = handle.result()
-        match = result.rows == sequential[name].rows
+        if chaos:
+            # Chaos legitimately perturbs emission order (delays, replay):
+            # the invariant is the *set* of rows, like the chaos sweeps.
+            match = sorted(result.rows) == sorted(sequential[name].rows)
+        else:
+            match = result.rows == sequential[name].rows
         identical = identical and match
         rows.append(
             [
@@ -474,17 +504,25 @@ def _workload_concurrent(args, graph, info, benchmark_queries):
                 "yes" if match else "NO",
             ]
         )
-        records.append(
-            {
-                "query": name,
-                "solo_rounds": sequential[name].stats.rounds,
-                "concurrent_rounds": result.stats.rounds,
-                "rows": len(result.rows),
-                "identical": match,
-            }
-        )
+        record = {
+            "query": name,
+            "solo_rounds": sequential[name].stats.rounds,
+            "concurrent_rounds": result.stats.rounds,
+            "rows": len(result.rows),
+            "identical": match,
+        }
+        if chaos:
+            recovery = getattr(result.stats, "recovery", None) or {}
+            record["complete"] = result.complete
+            record["timed_out"] = getattr(result, "timed_out", False)
+            record["recoveries"] = recovery.get("recoveries", 0)
+            record["down_machines"] = list(
+                getattr(result.stats, "down_machines", ())
+            )
+        records.append(record)
+    doc = None
     if args.json:
-        print(json.dumps({
+        doc = {
             "scale": args.scale,
             "seed": args.seed,
             "machines": args.machines,
@@ -499,7 +537,10 @@ def _workload_concurrent(args, graph, info, benchmark_queries):
                 "misses": session.plan_cache.misses,
             },
             "results": records,
-        }, indent=2))
+        }
+        if chaos:
+            doc["blast_radius"] = session.cluster_blast_radius
+        print(json.dumps(doc, indent=2))
     else:
         print(
             format_table(
@@ -552,6 +593,8 @@ def cmd_chaos(args):
     config = EngineConfig(
         num_machines=args.machines, sanitize=args.sanitize, recovery=recover
     )
+    if getattr(args, "concurrency", 1) and args.concurrency > 1:
+        return _cmd_chaos_concurrent(args, graph, names, queries, plans, config)
     reports = run_chaos_sweep(graph, queries, plans, config=config)
     records = []
     for name, report in zip(names, reports):
@@ -606,6 +649,76 @@ def cmd_chaos(args):
         f"-- chaos sweep: ok ({len(reports)} queries x {args.plans} plans, "
         f"{total} faults injected, results identical to fault-free{extra})"
     )
+    return 0
+
+
+def _cmd_chaos_concurrent(args, graph, names, queries, plans, config):
+    """``repro chaos --concurrency N``: the seeded sweep through the
+    multi-query Session submit path.
+
+    Every query in the batch must reproduce its fault-free *solo* result
+    set while co-resident queries share the faulted cluster; ``--json``
+    reports per-query ``complete``/``recoveries``/``down_machines`` plus
+    the cross-query ``blast_radius`` (queries rolled back per permanent
+    crash).  Exit 1 on any divergence.
+    """
+    from .faults import run_concurrent_chaos_sweep
+
+    report = run_concurrent_chaos_sweep(
+        graph, queries, plans, config=config, concurrency=args.concurrency
+    )
+    if args.json:
+        runs = []
+        for run in report.runs:
+            runs.append(
+                {
+                    "seed": run.seed,
+                    "identical": run.identical,
+                    "makespan": run.makespan,
+                    "fault_counts": run.fault_counts,
+                    "blast_radius": run.blast_radius,
+                    "queries": [
+                        {"query": names[q["index"]], **{
+                            k: v for k, v in q.items() if k != "index"
+                        }}
+                        for q in run.queries
+                    ],
+                }
+            )
+        print(
+            json.dumps(
+                {
+                    "scale": args.scale,
+                    "seed": args.seed,
+                    "machines": args.machines,
+                    "concurrency": args.concurrency,
+                    "plans": args.plans,
+                    "base_seed": args.base_seed,
+                    "identical": report.ok,
+                    "recoveries": report.total_recoveries,
+                    "results": runs,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(f"-- chaos --concurrency {args.concurrency}: {report.summary()}")
+        for run in report.runs:
+            crashes = sum(len(e["rolled_back"]) for e in run.blast_radius)
+            print(
+                f"--   seed {run.seed}: makespan {run.makespan}, "
+                f"faults {sum(run.fault_counts.values())}, "
+                f"{len(run.blast_radius)} permanent crash(es), "
+                f"{crashes} query rollback(s), "
+                f"{'identical' if run.identical else 'DIVERGED'}"
+            )
+    if not report.ok:
+        print(
+            "-- chaos sweep: RESULT DIVERGENCE under concurrent faults "
+            "(per-query isolation or exactly-once replay failed)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -960,6 +1073,17 @@ def build_parser():
         action="store_true",
         help="sweep *permanent* machine crashes with crash recovery on: "
         "checkpoint/failover/replay must still reproduce fault-free results",
+    )
+    p.add_argument(
+        "--concurrency",
+        type=int,
+        default=1,
+        metavar="N",
+        help="submit the queries concurrently (N at a time) through the "
+        "multi-query scheduler under the cluster-level fault plan; every "
+        "query must still match its fault-free solo result set, and the "
+        "JSON report carries per-query recoveries plus the cross-query "
+        "blast radius",
     )
     p.add_argument(
         "--json", action="store_true",

@@ -11,17 +11,27 @@ transport layer in :mod:`repro.runtime.network`.  See ``docs/faults.md``.
 
 from .injector import FaultInjector, message_kind
 from .plan import ALL_KINDS, FaultPlan, MachineCrash, MachineStall, seeded_sweep
-from .sweep import ChaosReport, ChaosRun, run_chaos_sweep
+from .sweep import (
+    ChaosReport,
+    ChaosRun,
+    ConcurrentChaosReport,
+    ConcurrentChaosRun,
+    run_chaos_sweep,
+    run_concurrent_chaos_sweep,
+)
 
 __all__ = [
     "ALL_KINDS",
     "ChaosReport",
     "ChaosRun",
+    "ConcurrentChaosReport",
+    "ConcurrentChaosRun",
     "FaultInjector",
     "FaultPlan",
     "MachineCrash",
     "MachineStall",
     "message_kind",
     "run_chaos_sweep",
+    "run_concurrent_chaos_sweep",
     "seeded_sweep",
 ]

@@ -9,6 +9,13 @@ This module turns that claim into an oracle, mirroring the schedule race
 sweep in :mod:`repro.analysis.races`: run the workload fault-free, then
 re-run under each seeded :class:`~repro.faults.plan.FaultPlan` and diff.
 
+:func:`run_concurrent_chaos_sweep` extends the oracle to the multi-query
+runtime: all queries are submitted together through the ``Session`` path
+at a given concurrency, the fault plan perturbs the *shared* cluster, and
+every query must still reproduce its fault-free **solo** baseline.  The
+report additionally bounds the blast radius: which queries actually
+rolled back per permanent crash.
+
 Reports also carry virtual makespans so the bench harness can chart
 makespan inflation (chaos cost) alongside correctness.
 """
@@ -135,3 +142,121 @@ def run_chaos_sweep(graph, queries, plans, config=None, compare_depths=True):
                 report.mismatches.append((plan.seed, "incomplete"))
         reports.append(report)
     return reports
+
+
+@dataclass
+class ConcurrentChaosRun:
+    """One fault plan applied to the whole concurrent batch."""
+
+    seed: int
+    identical: bool  # every query matched its fault-free solo baseline
+    makespan: int  # global cluster rounds for the batch
+    queries: list = field(default_factory=list)  # per-query outcome dicts
+    # One entry per permanent crash: {"round", "dead", "rolled_back"} —
+    # the cross-query blast radius (queries rolled back per crash).
+    blast_radius: list = field(default_factory=list)
+    fault_counts: dict = field(default_factory=dict)
+
+
+@dataclass
+class ConcurrentChaosReport:
+    """Outcome of one query batch swept across fault plans concurrently."""
+
+    queries: list  # query texts, submission order
+    concurrency: int
+    runs: list = field(default_factory=list)
+    mismatches: list = field(default_factory=list)  # [(seed, index, what)]
+
+    @property
+    def ok(self):
+        return not self.mismatches
+
+    @property
+    def total_faults(self):
+        return sum(sum(r.fault_counts.values()) for r in self.runs)
+
+    @property
+    def total_recoveries(self):
+        return sum(
+            q.get("recoveries", 0) for r in self.runs for q in r.queries
+        )
+
+    def summary(self):
+        status = "ok" if self.ok else f"{len(self.mismatches)} MISMATCHES"
+        return (
+            f"{len(self.queries)} queries at concurrency "
+            f"{self.concurrency}: {len(self.runs)} fault plans, "
+            f"{self.total_faults} faults injected, "
+            f"{self.total_recoveries} query rollbacks, {status}"
+        )
+
+
+def run_concurrent_chaos_sweep(graph, queries, plans, config=None, concurrency=4):
+    """Sweep ``queries`` *concurrently* over ``plans``; returns a
+    :class:`ConcurrentChaosReport`.
+
+    The oracle is the tentpole invariant of the chaos-hardened concurrent
+    runtime: each query, submitted through the ``Session`` path alongside
+    ``concurrency - 1`` co-resident queries onto a cluster perturbed by
+    the (cluster-level) fault plan, must reproduce its fault-free **solo**
+    baseline bit-identically and finish complete.  Each run also records
+    the blast radius — which queries a permanent crash actually rolled
+    back — and per-query ``recoveries`` / ``down_machines`` so callers can
+    assert isolation, not just correctness.
+    """
+    from ..config import EngineConfig
+    from ..session import Session
+
+    config = config or EngineConfig()
+    config = config.with_(max_concurrent_queries=concurrency)
+    # Fault-free solo baselines with the transport layer held on, so the
+    # comparison isolates the chaos (and the concurrency), not the ARQ.
+    baseline_config = config.with_(faults=None, reliable_transport=True)
+    solo = Session(graph, baseline_config)
+    baselines = [_canonical_rows(solo.execute(query)) for query in queries]
+    report = ConcurrentChaosReport(
+        queries=list(queries), concurrency=concurrency
+    )
+    for plan in plans:
+        session = Session(graph, config.with_(faults=plan))
+        handles = [session.submit(query) for query in queries]
+        session.drain()
+        per_query = []
+        identical = True
+        for index, handle in enumerate(handles):
+            result = handle.result()
+            rows_ok = _canonical_rows(result) == baselines[index]
+            recovery = getattr(result.stats, "recovery", None) or {}
+            per_query.append(
+                {
+                    "index": index,
+                    "rows_match": rows_ok,
+                    "complete": result.complete,
+                    "recoveries": recovery.get("recoveries", 0),
+                    "down_machines": list(
+                        getattr(result.stats, "down_machines", ())
+                    ),
+                }
+            )
+            if not rows_ok:
+                report.mismatches.append((plan.seed, index, "rows"))
+                identical = False
+            if not result.complete:
+                report.mismatches.append((plan.seed, index, "incomplete"))
+                identical = False
+        scheduler = session._scheduler
+        report.runs.append(
+            ConcurrentChaosRun(
+                seed=plan.seed,
+                identical=identical,
+                makespan=scheduler.makespan,
+                queries=per_query,
+                blast_radius=[dict(entry) for entry in scheduler.blast_radius],
+                fault_counts=(
+                    dict(scheduler.injector.counts)
+                    if scheduler.injector is not None
+                    else {}
+                ),
+            )
+        )
+    return report

@@ -8,6 +8,6 @@ transport layer, whose retransmit queue doubles as the replay log.
 """
 
 from .checkpoint import CheckpointStore, ClusterCheckpoint
-from .manager import RecoveryManager
+from .manager import HostMap, RecoveryManager
 
-__all__ = ["CheckpointStore", "ClusterCheckpoint", "RecoveryManager"]
+__all__ = ["CheckpointStore", "ClusterCheckpoint", "HostMap", "RecoveryManager"]

@@ -21,11 +21,24 @@ one.
 
 
 class ClusterCheckpoint:
-    """One immutable global snapshot, tagged with its recovery epoch."""
+    """One immutable global snapshot, tagged with its recovery epoch.
 
-    __slots__ = ("epoch", "round_no", "reason", "machines", "network", "terminated")
+    ``query_id`` namespaces checkpoints in the multi-query runtime: every
+    admitted query cuts its own epochs at its own termination-protocol
+    boundaries, so snapshots from co-resident queries can never be
+    confused even if they land in a shared durable store.  Solo runs use
+    query 0.
+    """
 
-    def __init__(self, epoch, round_no, reason, machines, network, terminated):
+    __slots__ = (
+        "epoch", "round_no", "reason", "machines", "network", "terminated",
+        "query_id",
+    )
+
+    def __init__(
+        self, epoch, round_no, reason, machines, network, terminated,
+        query_id=0,
+    ):
         self.epoch = epoch
         self.round_no = round_no
         self.reason = reason  # "initial" | "epoch"
@@ -34,11 +47,13 @@ class ClusterCheckpoint:
         # Globally-terminated (stage, depth) channels at checkpoint time —
         # the cadence marker: a new checkpoint is cut when this set grows.
         self.terminated = terminated
+        self.query_id = query_id
 
     def __repr__(self):
         return (
-            f"ClusterCheckpoint(epoch={self.epoch}, round={self.round_no}, "
-            f"reason={self.reason!r}, machines={len(self.machines)}, "
+            f"ClusterCheckpoint(query={self.query_id}, epoch={self.epoch}, "
+            f"round={self.round_no}, reason={self.reason!r}, "
+            f"machines={len(self.machines)}, "
             f"terminated_channels={len(self.terminated)})"
         )
 
@@ -63,6 +78,10 @@ class CheckpointStore:
 
     def latest(self):
         return self._checkpoints[-1] if self._checkpoints else None
+
+    def clear(self):
+        """Release every stored snapshot (query finished or withdrew)."""
+        self._checkpoints = []
 
     def __len__(self):
         return len(self._checkpoints)

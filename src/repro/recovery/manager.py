@@ -53,12 +53,85 @@ from ..obs.prof import profiled
 from .checkpoint import CheckpointStore, ClusterCheckpoint
 
 
+class HostMap:
+    """The cluster-level logical→physical machine mapping.
+
+    Failover is a property of the *cluster*, not of any one query: when a
+    physical host dies permanently, every logical machine it ran moves to
+    a survivor, and every query — present and future — must agree on the
+    new placement.  The solo path owns a private ``HostMap`` inside its
+    :class:`RecoveryManager`; the multi-query :class:`~repro.runtime.
+    multi.ClusterScheduler` owns one shared instance that all per-query
+    recovery managers (and the per-query network channels, via the
+    aliased ``hosts`` list) consult.
+    """
+
+    def __init__(self, num_machines):
+        self.hosts = list(range(num_machines))  # logical -> physical
+        self.failed_over = set()  # physical hosts permanently lost
+
+    def host_of(self, logical):
+        return self.hosts[logical]
+
+    def hosted_on(self, physical):
+        """Logical machines currently running on physical host ``physical``."""
+        return [l for l, h in enumerate(self.hosts) if h == physical]
+
+    def rehosted_logicals(self):
+        """Logical machines no longer on their identity host (sorted)."""
+        return tuple(l for l, h in enumerate(self.hosts) if h != l)
+
+    def fail_over(self, dead_physicals):
+        """Re-host every logical machine on ``dead_physicals`` onto the
+        least-loaded survivors (min-load, lowest id breaks ties).
+
+        Mutates ``hosts`` *in place* so every alias (network channels,
+        per-query managers) observes the move.  Returns ``(dead,
+        orphaned)`` — the newly-lost hosts and the logical machines that
+        moved — or ``(None, ())`` when every dead host was already
+        failed over (an idempotent re-report).
+        """
+        dead = [p for p in dead_physicals if p not in self.failed_over]
+        if not dead:
+            return None, ()
+        orphaned = []
+        for physical in dead:
+            orphaned.extend(self.hosted_on(physical))
+            self.failed_over.add(physical)
+        orphaned = sorted(set(orphaned))
+        survivors = [
+            p for p in range(len(self.hosts)) if p not in self.failed_over
+        ]
+        if not survivors:
+            raise ExecutionError(
+                "crash recovery impossible: no surviving machines"
+            )
+        load = Counter()
+        for logical, host in enumerate(self.hosts):
+            if host in self.failed_over:
+                continue
+            load[host] += 1
+        for logical in orphaned:
+            target = min(survivors, key=lambda s: (load[s], s))
+            self.hosts[logical] = target
+            load[target] += 1
+        return dead, orphaned
+
+
 class RecoveryManager:
-    """Checkpoint/failover/replay coordinator for one query execution."""
+    """Checkpoint/failover/replay coordinator for one query execution.
+
+    In the multi-query runtime each admitted query gets its *own*
+    manager — its own checkpoint store, recovery epoch, and rollback —
+    while the host mapping is shared across queries via ``host_map``
+    (failover moves a machine for everyone; rollback only rewinds the
+    queries that lost state).  ``query_id`` tags recovery events on the
+    observability timeline.
+    """
 
     def __init__(
         self, machines, network, dgraph, injector, sanitizer=None, obs=None,
-        prof=None,
+        prof=None, host_map=None, query_id=0,
     ):
         self.machines = machines
         self.network = network
@@ -67,26 +140,37 @@ class RecoveryManager:
         self.sanitizer = sanitizer
         self.obs = obs
         self.prof = prof
+        self.query_id = query_id
         self.epoch = 0
-        self.hosts = list(range(len(machines)))  # logical -> physical
-        self.failed_over = set()  # physical hosts permanently lost
+        self.host_map = host_map if host_map is not None else HostMap(len(machines))
         self.store = CheckpointStore()
         self.checkpoints_taken = 0
         self.recoveries = 0
         self._checkpointed_terminated = set()
         # The network shares the live hosts list: retransmission and
         # abandonment decisions follow failovers automatically.
-        network.hosts = self.hosts
+        network.hosts = self.host_map.hosts
+        # A query admitted after an earlier failover inherits the moves:
+        # frames to already-rehosted logicals must never be abandoned.
+        network.rehosted.update(self.host_map.rehosted_logicals())
 
     # ------------------------------------------------------------------
-    # Host mapping
+    # Host mapping (delegated to the — possibly shared — HostMap)
     # ------------------------------------------------------------------
+    @property
+    def hosts(self):
+        return self.host_map.hosts
+
+    @property
+    def failed_over(self):
+        return self.host_map.failed_over
+
     def host_of(self, logical):
-        return self.hosts[logical]
+        return self.host_map.host_of(logical)
 
     def hosted_on(self, physical):
         """Logical machines currently running on physical host ``physical``."""
-        return [l for l, h in enumerate(self.hosts) if h == physical]
+        return self.host_map.hosted_on(physical)
 
     def budget_scale(self, logical):
         """Compute-budget share for ``logical``: a host running ``k``
@@ -115,6 +199,7 @@ class RecoveryManager:
             machines={m.id: m.checkpoint_state() for m in self.machines},
             network=self.network.checkpoint_state(),
             terminated=terminated,
+            query_id=self.query_id,
         )
         self.store.put(snapshot)
         self.checkpoints_taken += 1
@@ -125,6 +210,7 @@ class RecoveryManager:
             self.obs.cluster_instant(
                 "recovery.checkpoint",
                 args={
+                    "query": self.query_id,
                     "epoch": self.epoch,
                     "round": round_no,
                     "reason": reason,
@@ -156,41 +242,33 @@ class RecoveryManager:
     # ------------------------------------------------------------------
     # Failover + rollback + replay
     # ------------------------------------------------------------------
-    @profiled("ckpt.restore")
     def recover(self, dead_physicals, round_no):
-        """Handle the permanent loss of ``dead_physicals``.
+        """Handle the permanent loss of ``dead_physicals`` (solo path).
 
         Re-hosts their logical machines onto the least-loaded survivors,
         bumps the recovery epoch (fencing all in-flight traffic), rolls
         every machine back to the latest checkpoint, and arms the ARQ
         replay.  Returns the restored checkpoint, or ``None`` when every
         dead host was already failed over.
-        """
-        dead = [p for p in dead_physicals if p not in self.failed_over]
-        if not dead:
-            return None
-        orphaned = []
-        for physical in dead:
-            orphaned.extend(self.hosted_on(physical))
-            self.failed_over.add(physical)
-        orphaned = sorted(set(orphaned))
-        survivors = [
-            p for p in range(len(self.machines)) if p not in self.failed_over
-        ]
-        if not survivors:
-            raise ExecutionError(
-                "crash recovery impossible: no surviving machines"
-            )
-        load = Counter()
-        for logical, host in enumerate(self.hosts):
-            if host in self.failed_over:
-                continue
-            load[host] += 1
-        for logical in orphaned:
-            target = min(survivors, key=lambda s: (load[s], s))
-            self.hosts[logical] = target
-            load[target] += 1
 
+        The multi-query scheduler does *not* call this: it runs the
+        shared :meth:`HostMap.fail_over` once per crash and then
+        :meth:`rollback` on each query that actually lost state.
+        """
+        dead, orphaned = self.host_map.fail_over(dead_physicals)
+        if dead is None:
+            return None
+        return self.rollback(orphaned, round_no, dead=dead)
+
+    @profiled("ckpt.restore")
+    def rollback(self, orphaned, round_no, dead=()):
+        """Roll *this query* back to its latest checkpoint and arm replay.
+
+        ``orphaned`` is the set of logical machines the (already decided)
+        failover moved — their partitions are re-derived on the new host.
+        Bumps this query's recovery epoch, fencing its in-flight traffic;
+        co-resident queries' channels are untouched.
+        """
         self.epoch += 1
         self.network.epoch = self.epoch
         self.network.rehosted.update(orphaned)
@@ -214,6 +292,7 @@ class RecoveryManager:
             self.obs.cluster_instant(
                 "recovery.failover",
                 args={
+                    "query": self.query_id,
                     "epoch": self.epoch,
                     "round": round_no,
                     "dead": list(dead),
@@ -228,6 +307,18 @@ class RecoveryManager:
                 "permanent-crash failovers (epoch bumps)",
             ).labels().inc()
         return snapshot
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def release(self):
+        """Drop this query's durable checkpoints.
+
+        Called when the query finishes, is cancelled, or deadline-expires
+        — including mid-rollback — so a departed query never pins cluster
+        checkpoint storage.  Counters survive for :meth:`summary`.
+        """
+        self.store.clear()
 
     def summary(self):
         """Recovery counters for :class:`RunStats` and reports."""

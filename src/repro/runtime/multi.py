@@ -24,6 +24,24 @@ Admission control
     submissions beyond that are rejected with :class:`~repro.errors.
     AdmissionError` instead of growing an unbounded backlog.
 
+Chaos, reliability, and recovery (docs/faults.md, docs/recovery.md)
+    Faults are a property of the *cluster*, not of any one query: when the
+    scheduler's base config carries a :class:`~repro.faults.FaultPlan`,
+    one shared seeded :class:`~repro.faults.FaultInjector` perturbs every
+    query's traffic on the shared interconnect, and a machine outage takes
+    down every query slice it hosts.  Reliability and recovery stay *per
+    query*: each channel runs its own ARQ endpoints, and each
+    recovery-enabled query cuts epoch checkpoints at its own
+    termination-protocol boundaries.  A permanent machine crash triggers
+    one cluster-level partition failover (the shared
+    :class:`~repro.recovery.HostMap`) and then rolls back **only the
+    queries that lost state on that machine** — co-resident queries
+    without recovery degrade to partial results exactly like the solo
+    path, and queries admitted later simply inherit the new placement.
+    The invariant (asserted in tests/test_concurrency_chaos.py): every
+    admitted query's result set is bit-identical to its fault-free solo
+    run.
+
 Determinism
     Admission order, the slice service order within a round, and every
     per-query protocol are deterministic, so a given submission sequence
@@ -32,9 +50,9 @@ Determinism
     perturbs the schedule, and the engine's result assembly is
     schedule-invariant (the property the race detector checks).
 
-Not supported concurrently (use the solo path): fault injection, crash
-recovery, and the race-detector schedule seed — each assumes it owns the
-whole cluster clock.
+Not supported concurrently (use the solo path): the race-detector
+``schedule_seed``, which perturbs and fingerprints the *whole* cluster's
+service order and is only meaningful with exclusive cluster ownership.
 """
 
 import time
@@ -58,29 +76,33 @@ _SHARE_EPSILON = 1e-6
 _MAX_PASSES = 4
 
 
-def _check_concurrent_config(config):
-    """Reject per-query options that assume exclusive cluster ownership."""
-    if config.faults is not None:
-        raise ConfigError(
-            "fault injection is not supported by the concurrent scheduler "
-            "(faults assume exclusive ownership of the cluster clock); "
-            "run the query solo via Session.execute"
-        )
-    if config.recovery:
-        raise ConfigError(
-            "crash recovery is not supported by the concurrent scheduler; "
-            "run the query solo via Session.execute"
-        )
-    if config.transport_enabled:
-        raise ConfigError(
-            "reliable transport is not supported by the concurrent "
-            "scheduler (it exists to survive faults, which are solo-only)"
-        )
+def _check_concurrent_config(config, cluster=None):
+    """The concurrent supported-feature matrix.
+
+    Fault injection, reliable transport, and crash recovery are all
+    supported concurrently; the fault *plan* is cluster-level (one
+    interconnect, one set of machines — chaos cannot be private to a
+    query), so a submitted query may omit it or restate the cluster's own
+    plan, but not bring a different one.  The race-detector
+    ``schedule_seed`` remains solo-only.
+    """
     if config.schedule_seed is not None:
         raise ConfigError(
             "schedule_seed (race-detector mode) is not supported by the "
-            "concurrent scheduler; perturb solo runs instead"
+            "concurrent scheduler: the detector permutes and fingerprints "
+            "the whole cluster's service order, which is only meaningful "
+            "when one query owns the cluster clock; perturb solo runs "
+            "via Session.execute instead"
         )
+    if cluster is not None and config.faults is not None:
+        if config.faults != cluster.faults:
+            raise ConfigError(
+                "per-query fault plans are not supported: faults live on "
+                "the shared interconnect and machines, so the plan is "
+                "cluster-level — pass it in the session/cluster base "
+                "config (a submitted query may restate that same plan "
+                "or leave faults unset)"
+            )
 
 
 class QueryTask:
@@ -114,6 +136,10 @@ class QueryTask:
         self.concluded = [False] * config.num_machines
         self.last_progress_round = 0
         self.quiescent_round = None  # local rounds (relative to admission)
+        # Per-query crash recovery (set by the scheduler at submit time
+        # when the query asked for it and the cluster can crash at all).
+        self.recovery = None
+        self.down_machines = ()
         self.finished = False
         self.cancelled = False
         self.timed_out = False
@@ -124,6 +150,18 @@ class QueryTask:
     def local_round(self, round_no):
         """Rounds of virtual time this query has been running."""
         return round_no - self.admitted_round + 1
+
+    def host_of(self, logical):
+        """Physical host running this query's logical machine ``logical``.
+
+        Identity unless the query is recovery-enabled and a failover moved
+        the logical machine: non-recovery queries keep addressing the dead
+        host (and degrade to partial results), which is exactly the
+        blast-radius boundary.
+        """
+        if self.recovery is None:
+            return logical
+        return self.recovery.hosts[logical]
 
     def is_quiescent(self):
         """No query work anywhere: slices idle, channel without batches."""
@@ -153,18 +191,42 @@ class QueryTask:
         The channel carries no other query's traffic and is closed right
         after, so draining it ahead of the global clock is safe: deliver
         the in-flight DONE credit returns, then audit credit conservation
-        and final counter equality exactly like the solo scheduler.
+        and final counter equality exactly like the solo scheduler.  Under
+        reliable transport a dropped frame may be nowhere in the queues
+        yet (awaiting its retransmit timer): settling mode bypasses fault
+        verdicts and fast-retransmits so the audit drains
+        deterministically, then the transport itself is audited.
         """
+        channel = self.channel
         settle_limit = round_no + 16 + 4 * self.config.net_delay_rounds
+        if channel.reliable:
+            channel.settling = True
+            settle_limit += 4 * self.config.net_delay_rounds + 8
         while round_no < settle_limit:
-            if not self.channel.has_protocol_work():
+            if not channel.has_protocol_work():
                 break
             round_no += 1
+            if channel.reliable:
+                channel.tick(round_no)
             for s in self.slices:
-                s.deliver(self.channel.drain(s.id, round_no))
+                s.deliver(channel.drain(s.id, round_no))
         self.sanitizer.on_query_end([s.flow for s in self.slices])
         self.sanitizer.check_final_counts([s.tracker for s in self.slices])
+        if channel.reliable:
+            self.sanitizer.check_transport_settled(channel)
         return round_no
+
+    def release_resources(self):
+        """Free shared-cluster state this query pins.
+
+        Idempotent; called on finish, cancel, and deadline expiry —
+        including mid-rollback — so a departed query never holds
+        checkpoint storage.  The transport namespace (RX queues, ARQ
+        buffers, dedup ledger) dies with the channel when the scheduler
+        closes it; co-resident queries' channels are untouched.
+        """
+        if self.recovery is not None:
+            self.recovery.release()
 
     def finalize(self, round_no):
         """Build this query's :class:`RunStats`; rounds are query-local."""
@@ -184,11 +246,21 @@ class QueryTask:
             quiescent_round=self.quiescent_round,
             timed_out=self.timed_out,
             partial=self.partial,
+            down_machines=self.down_machines,
+            transport=(
+                self.channel.transport_summary()
+                if self.channel.reliable
+                else None
+            ),
+            recovery=(
+                self.recovery.summary() if self.recovery is not None else None
+            ),
             # Cumulative cluster-wide phase aggregates as of this query's
             # finish (the shared round loop is not attributable per query).
             profile=self.prof.summary() if self.prof is not None else None,
         )
         self.finished = True
+        self.release_resources()
         return self.stats
 
 
@@ -196,7 +268,8 @@ class ClusterScheduler:
     """Runs many queries concurrently on one simulated cluster.
 
     The scheduler owns the cluster shape (machine count, quantum, network
-    delay) via ``base_config``; each submitted query brings its own
+    delay) via ``base_config`` — including the fault plan, when there is
+    one; each submitted query brings its own
     :class:`~repro.config.EngineConfig` whose cluster-shape fields must
     match.  Call :meth:`submit` any number of times, then :meth:`run`
     (or :meth:`step` round by round); finished tasks carry their
@@ -218,9 +291,32 @@ class ClusterScheduler:
                 f"graph partitioned for {dgraph.num_machines} machines but "
                 f"config requests {base_config.num_machines}"
             )
+        # One shared seeded injector: all co-resident queries see the same
+        # lossy interconnect and the same machine outages.  Fault-plan
+        # crash/stall rounds are *global* cluster rounds.
+        if base_config.faults is not None:
+            from ..faults import FaultInjector  # deferred: avoids import cycle
+
+            self.injector = FaultInjector(
+                base_config.faults, base_config.num_machines
+            )
+        else:
+            self.injector = None
         self.network = ClusterNetwork(
-            base_config.num_machines, base_config.net_delay_rounds
+            base_config.num_machines,
+            base_config.net_delay_rounds,
+            faults=self.injector,
+            retransmit_timeout_rounds=base_config.retransmit_timeout_rounds,
         )
+        # Cluster-level failover state, created lazily with the first
+        # recovery-enabled query: logical->physical placement is shared
+        # (a machine moves for everyone consulting the map), rollback is
+        # per query.
+        self.host_map = None
+        # One entry per permanent crash: which queries actually rolled
+        # back — the blast radius the chaos tests and `repro chaos
+        # --concurrency` bound.
+        self.blast_radius = []
         self.round_no = 0
         self.active = []  # admission order
         self.pending = []  # bounded FIFO of not-yet-admitted QueryTasks
@@ -238,7 +334,7 @@ class ClusterScheduler:
         the pending queue are both full.
         """
         config = self.config if config is None else config
-        _check_concurrent_config(config)
+        _check_concurrent_config(config, cluster=self.config)
         if config.num_machines != self.config.num_machines:
             raise ConfigError(
                 f"query config requests {config.num_machines} machines but "
@@ -264,9 +360,18 @@ class ClusterScheduler:
         query_id = self._next_query_id
         self._next_query_id += 1
         sanitizer = sanitizer_from_config(config, obs=obs)
+        # Reliable transport resolves against the *cluster's* chaos, not
+        # the query's own (usually unset) fault field: explicit flag wins,
+        # else ARQ is armed exactly when something can be lost or the
+        # query wants the retransmit queue as its replay log.
+        if config.reliable_transport is not None:
+            reliable = config.reliable_transport
+        else:
+            reliable = self.injector is not None or config.recovery
         channel = self.network.open_channel(
             query_id, plan.num_slots, sanitizer=sanitizer, obs=obs,
-            prof=self.prof,
+            prof=self.prof, reliable=reliable,
+            retransmit_timeout_rounds=config.retransmit_timeout_rounds,
         )
         if obs is not None:
             obs.configure(config.num_machines, config.quantum)
@@ -274,9 +379,35 @@ class ClusterScheduler:
             query_id, self.dgraph, plan, config, sink_factory, channel,
             sanitizer=sanitizer, obs=obs, prof=self.prof,
         )
+        # Recovery is only meaningful when something can crash: without an
+        # injector the manager (and its checkpoints) is skipped, exactly
+        # like the solo path.
+        if config.recovery and self.injector is not None:
+            from ..recovery import RecoveryManager  # deferred: import cycle
+
+            task.recovery = RecoveryManager(
+                task.slices, channel, self.dgraph, self.injector,
+                sanitizer=sanitizer, obs=obs, prof=self.prof,
+                host_map=self._ensure_host_map(), query_id=query_id,
+            )
         self.pending.append(task)
         self._admit()
         return task
+
+    def _ensure_host_map(self):
+        """Create the shared failover map with the first recovery query.
+
+        Seeded with any machines already permanently down: a query
+        admitted after a crash must never place state on the dead host.
+        """
+        if self.host_map is None:
+            from ..recovery import HostMap  # deferred: import cycle
+
+            self.host_map = HostMap(self.config.num_machines)
+            already_dead = self.injector.permanent_down(self.round_no)
+            if already_dead:
+                self.host_map.fail_over(already_dead)
+        return self.host_map
 
     def _admit(self):
         """Move pending tasks onto the cluster up to the concurrency cap."""
@@ -287,6 +418,11 @@ class ClusterScheduler:
             task = self.pending.pop(0)
             task.admitted_round = self.round_no + 1
             task.last_progress_round = self.round_no
+            if task.recovery is not None:
+                # Initial checkpoint before the query's first round: a
+                # crash during depth-0 bootstrap rolls back to the
+                # pristine pre-query state.
+                task.recovery.checkpoint(self.round_no, "initial")
             self.active.append(task)
             self.admitted += 1
             if task.obs is not None:
@@ -304,7 +440,8 @@ class ClusterScheduler:
         A pending task is simply dequeued; an active one is torn down
         without the settle/audit epilogue (its in-flight traffic dies with
         its private channel).  Either way the task ends ``cancelled`` with
-        no stats.
+        no stats, its checkpoints and transport namespace released —
+        even mid-rollback — without perturbing co-resident queries.
         """
         if task.finished:
             return False
@@ -315,8 +452,66 @@ class ClusterScheduler:
         if task in self.active:
             self.active.remove(task)
             self._admit()
+        task.release_resources()
         self.network.close_channel(task.query_id)
         return True
+
+    # ------------------------------------------------------------------
+    # Fault handling (shared cluster clock)
+    # ------------------------------------------------------------------
+    def _slice_up(self, task, logical, round_no):
+        """Availability of the host running ``task``'s slice ``logical``."""
+        if self.injector is None:
+            return True
+        return self.injector.machine_up(task.host_of(logical), round_no)
+
+    def _hosted_logicals(self, task, host):
+        """``task``'s logical machines currently on physical ``host``."""
+        if task.recovery is not None:
+            return self.host_map.hosted_on(host)
+        return (host,)
+
+    def _apply_crashes(self, crashed, round_no):
+        """Crash instants: lose RX queues, then fail over + roll back.
+
+        The RX loss hits *every* query with a logical machine on the
+        crashed host (durable machine state survives — fail-recover
+        model; reliable senders still hold the frames).  A *permanent*
+        crash additionally triggers one cluster-level failover, after
+        which only the recovery-enabled queries roll back to their own
+        latest checkpoints — that set is the crash's blast radius.
+        """
+        for host in crashed:
+            for task in self.active:
+                for logical in self._hosted_logicals(task, host):
+                    task.channel.lose_queue(logical)
+        permanent_dead = [
+            h for h in crashed if h in self.injector.permanent_machines
+        ]
+        if not permanent_dead:
+            return
+        rolled = []
+        dead = list(permanent_dead)
+        if self.host_map is not None:
+            new_dead, orphaned = self.host_map.fail_over(permanent_dead)
+            if new_dead is None:
+                return  # already failed over (idempotent re-report)
+            dead = list(new_dead)
+            for task in self.active:
+                if task.recovery is None:
+                    continue
+                task.recovery.rollback(orphaned, round_no, dead=new_dead)
+                # The rollback may rewind conclusions: re-sync the
+                # scheduler's view and reset the progress clock for the
+                # replay.
+                for s in task.slices:
+                    task.concluded[s.id] = s.protocol.concluded
+                task.last_progress_round = round_no
+                task.quiescent_round = None
+                rolled.append(task.query_id)
+        self.blast_radius.append(
+            {"round": round_no, "dead": dead, "rolled_back": rolled}
+        )
 
     # ------------------------------------------------------------------
     # The global round loop
@@ -327,30 +522,55 @@ class ClusterScheduler:
         round_no = self.round_no
         finished = []
         prof = self.prof
+        injector = self.injector
 
-        # Delivery phase: each slice drains its query's private channel.
+        # Fault prologue: crashes fire on the shared cluster clock and
+        # hit every co-resident query at once.
+        if injector is not None:
+            crashed = injector.begin_round(round_no)
+            if crashed:
+                self._apply_crashes(crashed, round_no)
+
+        # Delivery phase: each slice drains its query's private channel;
+        # a down host receives nothing (messages wait in the network).
         if prof is not None:
             prof.enter("sched.deliver")
         for task in self.active:
             for s in task.slices:
+                if not self._slice_up(task, s.id, round_no):
+                    continue
                 s.deliver(self.network.drain(s.id, task.query_id, round_no))
         if prof is not None:
             prof.exit()
 
-        # Execution phase: split each machine's quantum fairly across the
-        # query slices hosted on it, work-conserving.
+        # Execution phase: split each physical host's quantum fairly
+        # across the query slices it currently runs (after a failover one
+        # host may run several logical machines of the same query).
         if prof is not None:
             prof.enter("sched.compute")
         consumed_by_task = {task.query_id: 0.0 for task in self.active}
-        for m in range(self.config.num_machines):
-            slices = [(task, task.slices[m]) for task in self.active]
+        for host in range(self.config.num_machines):
+            slices = []
+            for task in self.active:
+                for logical in self._hosted_logicals(task, host):
+                    slices.append((task, task.slices[logical]))
             if not slices:
                 continue
-            consumed = self._run_machine_round(m, round_no, slices)
-            for task, _ in slices:
-                consumed_by_task[task.query_id] += consumed[task.query_id]
+            if injector is not None and not injector.machine_up(host, round_no):
+                for _task, s in slices:
+                    s.stats.stalled_rounds += 1
+                continue
+            used_total = self._run_machine_round(host, round_no, slices)
+            for task, s in slices:
+                consumed_by_task[task.query_id] += used_total[
+                    (task.query_id, s.id)
+                ]
         if prof is not None:
             prof.exit()
+
+        # One global tick drives every reliable channel's retransmit
+        # timer (each query's ARQ state is private to its channel).
+        self.network.tick(round_no)
 
         # Per-query protocol phase: heartbeats, termination, watchdogs —
         # all on the query's own clock (rounds since admission).
@@ -360,8 +580,14 @@ class ClusterScheduler:
             if consumed_by_task[task.query_id] > 0.0:
                 task.last_progress_round = round_no
                 task.quiescent_round = None
-            elif task.quiescent_round is None and task.is_quiescent():
-                task.quiescent_round = task.local_round(round_no)
+            else:
+                if task.quiescent_round is None and task.is_quiescent():
+                    task.quiescent_round = task.local_round(round_no)
+                if injector is not None and injector.transient_down(round_no):
+                    # An outage is not a stall: hosts that will come back
+                    # (or retransmissions pending on their behalf) reset
+                    # the progress clock.
+                    task.last_progress_round = round_no
             try:
                 if self._drive_protocol(task, round_no):
                     finished.append(task)
@@ -392,16 +618,18 @@ class ClusterScheduler:
             self._admit()
         return finished
 
-    def _run_machine_round(self, m, round_no, slices):
-        """Fair work-conserving quantum split on machine ``m``.
+    def _run_machine_round(self, host, round_no, slices):
+        """Fair work-conserving quantum split on physical host ``host``.
 
         Pass 1 offers every slice an equal share of the quantum; slices
         that consume (almost) their whole share are *hungry* and split
         whatever the others left idle in further passes.  Busy/idle round
         accounting is charged once per slice at the end, on its total.
+        Keys are ``(query_id, slice.id)``: after a failover one host can
+        legitimately run two slices of the same query.
         """
         remaining = self.config.quantum
-        used_total = {task.query_id: 0.0 for task, _ in slices}
+        used_total = {(task.query_id, s.id): 0.0 for task, s in slices}
         hungry = list(slices)
         passes = 0
         while hungry and remaining > self.config.quantum * _SHARE_EPSILON:
@@ -410,7 +638,7 @@ class ClusterScheduler:
             still_hungry = []
             for task, s in hungry:
                 used = s.run_slice(round_no, share)
-                used_total[task.query_id] += used
+                used_total[(task.query_id, s.id)] += used
                 spent_this_pass += used
                 if used >= share * (1.0 - _SHARE_EPSILON):
                     still_hungry.append((task, s))
@@ -420,17 +648,19 @@ class ClusterScheduler:
             if passes >= _MAX_PASSES:
                 break
         for task, s in slices:
-            s.account_round(used_total[task.query_id])
+            s.account_round(used_total[(task.query_id, s.id)])
         return used_total
 
     def _drive_protocol(self, task, round_no):
         """Heartbeats / termination / watchdogs for one task.
 
-        Returns True when the task finished this round (concluded or
-        deadline-expired); raises on stall or round-cap breach.
+        Returns True when the task finished this round (concluded,
+        deadline-expired, or degraded to partial results on a permanent
+        unrecovered crash); raises on stall or round-cap breach.
         """
         local = task.local_round(round_no)
         config = task.config
+        injector = self.injector
         if local > config.max_rounds:
             raise ExecutionError(
                 f"query {task.query_id} exceeded max_rounds="
@@ -440,10 +670,14 @@ class ClusterScheduler:
         if config.deadline is not None and local > config.deadline:
             task.partial = True
             task.timed_out = True
+            if injector is not None:
+                task.down_machines = injector.permanent_down(round_no)
             task.finalize(round_no)
             return True
         if local % config.status_interval == 0:
             for s in task.slices:
+                if not self._slice_up(task, s.id, round_no):
+                    continue  # a down machine broadcasts nothing
                 s.broadcast_status(round_no)
             if task.sanitizer is not None:
                 task.sanitizer.check_global_counts(
@@ -451,13 +685,42 @@ class ClusterScheduler:
                 )
             done = True
             for s in task.slices:
+                if not self._slice_up(task, s.id, round_no):
+                    done = done and task.concluded[s.id]
+                    continue
                 if not task.concluded[s.id]:
                     task.concluded[s.id] = s.check_termination()
                 done = done and task.concluded[s.id]
             if done:
                 task.finalize(round_no)
                 return True
+            if task.recovery is not None:
+                # Checkpoint cadence rides this query's own termination
+                # protocol: cut one whenever new channels terminated
+                # globally for *this* query.
+                task.recovery.maybe_checkpoint(round_no)
         if round_no - task.last_progress_round > config.stall_limit:
+            permanent = (
+                injector.permanent_down(round_no)
+                if injector is not None
+                else ()
+            )
+            if task.recovery is not None:
+                # Failed-over hosts are handled, not lost: they must not
+                # trigger the partial-results path.
+                permanent = tuple(
+                    m
+                    for m in permanent
+                    if m not in task.recovery.failed_over
+                )
+            if permanent:
+                # A machine that never comes back and this query does not
+                # recover from: give up on its share of the work and
+                # return what the survivors produced, flagged incomplete.
+                task.partial = True
+                task.down_machines = permanent
+                task.finalize(round_no)
+                return True
             task._diagnose_stall(round_no)
         return False
 

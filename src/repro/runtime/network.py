@@ -464,38 +464,93 @@ class ClusterNetwork:
     finishes.  Cross-query isolation is structural — a query's batches,
     credit returns, and heartbeats can only ever reach its own slices —
     while the cluster still observes aggregate traffic for reports.
+
+    Chaos is *shared*: one cluster-level :class:`~repro.faults.injector.
+    FaultInjector` (when the scheduler's base config carries a fault
+    plan) hands verdicts to every channel, so the same lossy interconnect
+    and the same machine outages hit all co-resident queries — as they
+    would in reality.  Reliability stays *per query*: each channel runs
+    its own ARQ endpoints (tseq counters, dedup ledgers, retransmit
+    queues), which is exactly the query-namespaced exactly-once state
+    the per-query rollback needs to restore independently.
     """
 
-    def __init__(self, num_machines, net_delay_rounds=1):
+    def __init__(
+        self, num_machines, net_delay_rounds=1, faults=None,
+        retransmit_timeout_rounds=None,
+    ):
         self.num_machines = num_machines
         self.delay = net_delay_rounds
+        # Shared fault injector (None = perfect interconnect): every
+        # channel consults the same seeded verdict stream.
+        self.faults = faults
+        self.retransmit_timeout_rounds = retransmit_timeout_rounds
         self._channels = {}  # query_id -> SimulatedNetwork, admission order
         # Traffic of already-closed channels, kept so cluster totals are
         # monotone across the whole scheduler lifetime.
         self._closed_messages = 0
         self._closed_bytes = 0
+        self._closed_transport = {}  # summed transport counters
 
-    def open_channel(self, query_id, num_slots, sanitizer=None, obs=None, prof=None):
-        """Create the per-query channel; returns the SimulatedNetwork."""
+    def open_channel(
+        self, query_id, num_slots, sanitizer=None, obs=None, prof=None,
+        reliable=False, hosts=None, rehosted=(),
+        retransmit_timeout_rounds=None,
+    ):
+        """Create the per-query channel; returns the SimulatedNetwork.
+
+        ``reliable`` arms the per-link ARQ on this query's channel (its
+        sequence numbers, dedup ledger, and retransmit queue are private
+        to the query — as is ``retransmit_timeout_rounds``, which falls
+        back to the cluster's value when unset).  ``hosts`` aliases the
+        cluster's logical→physical map for recovery-enabled queries, and
+        ``rehosted`` seeds the never-abandon set with failovers that
+        happened before admission.
+        """
         if query_id in self._channels:
             raise AssertionError(f"channel for query {query_id} already open")
+        if retransmit_timeout_rounds is None:
+            retransmit_timeout_rounds = self.retransmit_timeout_rounds
         channel = SimulatedNetwork(
             self.num_machines,
             self.delay,
             num_slots,
+            reliable=reliable,
+            faults=self.faults,
+            retransmit_timeout_rounds=retransmit_timeout_rounds,
             obs=obs,
             sanitizer=sanitizer,
             prof=prof,
         )
+        channel.hosts = hosts
+        channel.rehosted.update(rehosted)
         self._channels[query_id] = channel
         return channel
 
     def close_channel(self, query_id):
-        """Tear down a finished/cancelled query's channel."""
+        """Tear down a finished/cancelled query's channel.
+
+        Dropping the channel releases the query's entire transport
+        namespace — RX queues, ARQ retransmit buffers, dedup ledger —
+        without touching any co-resident query's channel.
+        """
         channel = self._channels.pop(query_id, None)
         if channel is not None:
             self._closed_messages += channel.total_messages
             self._closed_bytes += channel.total_bytes
+            for key, value in channel.transport_summary().items():
+                if isinstance(value, bool):
+                    continue
+                self._closed_transport[key] = (
+                    self._closed_transport.get(key, 0) + value
+                )
+
+    def tick(self, now_round):
+        """Drive every reliable channel's retransmit timer (one global
+        round tick; channels without ARQ state are a no-op)."""
+        for channel in self._channels.values():
+            if channel.reliable:
+                channel.tick(now_round)
 
     def channel(self, query_id):
         return self._channels[query_id]

@@ -17,11 +17,17 @@ Typical use::
 
 ``execute`` runs one query with exclusive ownership of the simulated
 cluster (the solo :class:`~repro.runtime.scheduler.QueryExecution` path —
-the only one supporting fault injection, crash recovery, and the race
-detector).  ``submit`` hands the query to the shared
-:class:`~repro.runtime.multi.ClusterScheduler`, where it interleaves with
-every other in-flight submission under fair per-machine quantum sharing;
-the returned :class:`QueryHandle` drives the cluster forward on demand.
+the only one supporting the race detector's ``schedule_seed``).
+``submit`` hands the query to the shared :class:`~repro.runtime.multi.
+ClusterScheduler`, where it interleaves with every other in-flight
+submission under fair per-machine quantum sharing; the returned
+:class:`QueryHandle` drives the cluster forward on demand.  Both paths
+support fault injection, reliable transport, and crash recovery: on the
+concurrent path the fault plan lives in the *session* config (chaos is
+cluster-level — one interconnect, shared machines), while ARQ state,
+epoch checkpoints, and rollback stay per query, so a permanent machine
+crash rolls back only the queries that lost state on it
+(``Session.cluster_blast_radius`` records exactly which).
 
 Both paths share one :class:`~repro.plan.cache.PlanCache`, so repeated
 query text (modulo whitespace) compiles once per session.
@@ -275,9 +281,14 @@ class Session:
         ``timed_out`` with whatever rows were produced.  Raises
         :class:`~repro.errors.AdmissionError` when both the concurrency
         limit and the bounded pending queue are full, and
-        :class:`~repro.errors.ConfigError` for per-query options the
-        concurrent scheduler does not support (faults, recovery,
-        schedule_seed — use :meth:`execute` for those).
+        :class:`~repro.errors.ConfigError` for the per-query options the
+        concurrent scheduler does not support: ``schedule_seed`` (the race
+        detector owns the whole cluster clock — use :meth:`execute`), and
+        a per-query fault plan differing from the session's (chaos is
+        cluster-level).  ``recovery=True`` in the query or session config
+        arms per-query checkpoints/rollback; cancelling or
+        deadline-expiring the handle releases them without perturbing
+        co-resident queries.
         """
         self._check_open()
         run_config = config or self.config
@@ -316,6 +327,20 @@ class Session:
     def cluster_rounds(self):
         """Global rounds elapsed on the shared cluster clock (0 if unused)."""
         return 0 if self._scheduler is None else self._scheduler.makespan
+
+    @property
+    def cluster_blast_radius(self):
+        """Per-permanent-crash rollback records from the shared cluster.
+
+        One entry per crash: ``{"round", "dead", "rolled_back"}`` where
+        ``rolled_back`` lists the query ids that actually rewound to a
+        checkpoint — the bounded blast radius the concurrent recovery
+        design guarantees (co-resident queries with no state on the dead
+        machine do not appear).
+        """
+        if self._scheduler is None:
+            return []
+        return [dict(entry) for entry in self._scheduler.blast_radius]
 
     def _drive(self, task):
         while not task.finished:

@@ -152,14 +152,40 @@ class TestIsolation:
     def test_solo_only_options_rejected(self):
         session = connect(chain_graph(8), num_machines=2)
         base = session.config
-        for bad in (
-            base.with_(recovery=True),
-            base.with_(schedule_seed=1),
-        ):
-            with pytest.raises(ConfigError):
-                session.submit(
-                    "SELECT COUNT(*) FROM MATCH (a)-[:NEXT]->(b)", config=bad
-                )
+        with pytest.raises(ConfigError, match="schedule_seed"):
+            session.submit(
+                "SELECT COUNT(*) FROM MATCH (a)-[:NEXT]->(b)",
+                config=base.with_(schedule_seed=1),
+            )
+        # recovery / reliable_transport used to be solo-only; now they ride
+        # the concurrent path too.
+        handle = session.submit(
+            "SELECT COUNT(*) FROM MATCH (a)-[:NEXT]->(b)",
+            config=base.with_(recovery=True, reliable_transport=True),
+        )
+        session.drain()
+        assert handle.result().complete
+
+    def test_per_query_fault_plan_must_match_cluster(self):
+        """Chaos is cluster-level: a differing per-query plan is rejected,
+        restating the session's own plan is fine."""
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan(seed=3, drop_prob=0.02)
+        session = connect(
+            chain_graph(8), num_machines=2, faults=plan, sanitize=True
+        )
+        with pytest.raises(ConfigError, match="fault plan"):
+            session.submit(
+                "SELECT COUNT(*) FROM MATCH (a)-[:NEXT]->(b)",
+                config=session.config.with_(faults=FaultPlan(seed=4)),
+            )
+        restated = session.submit(
+            "SELECT COUNT(*) FROM MATCH (a)-[:NEXT]->(b)",
+            config=session.config.with_(faults=plan),
+        )
+        session.drain()
+        assert restated.result().complete
 
     def test_one_query_failure_spares_the_others(self):
         """A per-query round-cap breach must not take down its neighbours."""

@@ -1,0 +1,170 @@
+"""Chaos under concurrency: faults, ARQ, and recovery on the shared cluster.
+
+The tentpole invariant: every admitted query's result set must be
+bit-identical to its fault-free *solo* run, at concurrency >= 4, under
+seeded fault plans injected at the shared ClusterNetwork — including
+permanent machine crashes, which may roll back only the queries that
+actually lost state (bounded blast radius).
+"""
+
+import pytest
+
+from repro import EngineConfig, connect
+from repro.errors import QueryCancelledError
+from repro.faults import FaultPlan, MachineCrash, run_concurrent_chaos_sweep
+from repro.graph.generators import random_graph
+
+QUERIES = [
+    "SELECT COUNT(*) FROM MATCH (a)-[:LINK]->(b)",
+    "SELECT COUNT(*) FROM MATCH (a)-/:LINK+/->(b)",
+    "SELECT COUNT(*) FROM MATCH (a)-/:LINK{1,3}/->(b)",
+    "SELECT COUNT(*) FROM MATCH (a)-/:LINK{2,4}/->(b)",
+]
+
+CONFIG = EngineConfig(
+    num_machines=4, buffers_per_machine=2048, sanitize=True,
+    max_concurrent_queries=4,
+)
+
+
+def _graph(seed=11):
+    return random_graph(50, 150, seed=seed)
+
+
+def _rows(result):
+    return sorted(tuple(row) for row in result.rows)
+
+
+def _solo_baselines(graph, queries):
+    solo = connect(graph, CONFIG.with_(reliable_transport=True))
+    return [_rows(solo.execute(q)) for q in queries]
+
+
+class TestConcurrentChaosInvariance:
+    def test_drop_dup_reorder_bit_identical_at_concurrency_4(self):
+        plans = [
+            FaultPlan(
+                seed=seed, drop_prob=0.05, dup_prob=0.05,
+                reorder_prob=0.10, reorder_window=3,
+            )
+            for seed in (1, 2)
+        ]
+        report = run_concurrent_chaos_sweep(
+            _graph(), QUERIES, plans, config=CONFIG, concurrency=4
+        )
+        assert report.ok, report.mismatches
+        assert report.total_faults > 0  # the chaos actually fired
+        for run in report.runs:
+            assert run.identical
+            assert all(q["complete"] for q in run.queries)
+
+    def test_two_sequential_permanent_crashes(self):
+        plan = FaultPlan(
+            seed=9,
+            crashes=(
+                MachineCrash(machine=2, round=4),
+                MachineCrash(machine=3, round=9),
+            ),
+        )
+        report = run_concurrent_chaos_sweep(
+            _graph(), QUERIES, [plan],
+            config=CONFIG.with_(recovery=True), concurrency=4,
+        )
+        assert report.ok, report.mismatches
+        run = report.runs[0]
+        assert len(run.blast_radius) == 2
+        assert [entry["dead"] for entry in run.blast_radius] == [[2], [3]]
+        assert report.total_recoveries > 0
+
+    def test_crash_racing_a_conclude(self):
+        """A permanent crash landing right at a query's solo conclude round
+        must still replay to the exact baseline for every co-resident."""
+        graph = _graph()
+        solo = connect(graph, CONFIG.with_(reliable_transport=True))
+        clean = solo.execute(QUERIES[2])
+        crash_round = max(1, int(clean.stats.virtual_time))
+        plan = FaultPlan(
+            seed=13, crashes=(MachineCrash(machine=1, round=crash_round),)
+        )
+        report = run_concurrent_chaos_sweep(
+            graph, QUERIES, [plan],
+            config=CONFIG.with_(recovery=True), concurrency=4,
+        )
+        assert report.ok, report.mismatches
+
+
+class TestBlastRadiusIsolation:
+    def test_crash_rolls_back_only_the_active_queries(self):
+        """Nine queries through a 3-wide scheduler; machine 2 dies while the
+        first three are active.  All three recover; the six admitted later
+        run on the failed-over host map without ever rolling back."""
+        graph = _graph()
+        nine = (QUERIES[1:] * 3)[:9]
+        baselines = _solo_baselines(graph, nine)
+        plan = FaultPlan(seed=5, crashes=(MachineCrash(machine=2, round=4),))
+        session = connect(
+            graph,
+            CONFIG.with_(
+                max_concurrent_queries=3, recovery=True, faults=plan
+            ),
+        )
+        handles = [session.submit(q) for q in nine]
+        session.drain()
+        first_ids = sorted(h.query_id for h in handles[:3])
+        for handle, baseline in zip(handles, baselines):
+            result = handle.result()
+            assert result.complete
+            assert _rows(result) == baseline
+        recoveries = [
+            (h.result().stats.recovery or {}).get("recoveries", 0)
+            for h in handles
+        ]
+        assert all(n >= 1 for n in recoveries[:3]), recoveries
+        assert all(n == 0 for n in recoveries[3:]), recoveries
+        blast = session.cluster_blast_radius
+        assert len(blast) == 1
+        assert blast[0]["dead"] == [2]
+        assert sorted(blast[0]["rolled_back"]) == first_ids
+
+    def test_cancel_mid_chaos_releases_without_perturbing_others(self):
+        graph = _graph()
+        baselines = _solo_baselines(graph, QUERIES)
+        plan = FaultPlan(
+            seed=5, drop_prob=0.05, dup_prob=0.05,
+            crashes=(MachineCrash(machine=1, round=6),),
+        )
+        session = connect(graph, CONFIG.with_(recovery=True, faults=plan))
+        handles = [session.submit(q) for q in QUERIES]
+        # A few rounds so every query holds live ARQ + checkpoint state.
+        for _ in range(3):
+            session._scheduler.step()
+        victim = handles[1]
+        task = victim._task
+        assert task.recovery is not None
+        assert len(task.recovery.store) > 0
+        assert victim.cancel()
+        assert len(task.recovery.store) == 0  # checkpoints released
+        session.drain()
+        with pytest.raises(QueryCancelledError):
+            victim.result()
+        for index, handle in enumerate(handles):
+            if handle is victim:
+                continue
+            result = handle.result()
+            assert result.complete
+            assert _rows(result) == baselines[index]
+
+    def test_deadline_expiry_mid_chaos_spares_the_others(self):
+        graph = _graph()
+        baselines = _solo_baselines(graph, QUERIES)
+        plan = FaultPlan(seed=5, drop_prob=0.05, dup_prob=0.05)
+        session = connect(graph, CONFIG.with_(recovery=True, faults=plan))
+        doomed = session.submit(QUERIES[1], deadline=2)
+        rest = [session.submit(q) for q in QUERIES]
+        session.drain()
+        assert doomed.result().timed_out
+        assert len(doomed._task.recovery.store) == 0  # resources released
+        for handle, baseline in zip(rest, baselines):
+            result = handle.result()
+            assert result.complete
+            assert _rows(result) == baseline

@@ -118,13 +118,19 @@ class TestSubmit:
 
     def test_submit_rejects_solo_only_options(self):
         session = connect(chain_graph(8), num_machines=2)
+        # A per-query fault plan on a fault-free session differs from the
+        # cluster's (None) plan: chaos is cluster-level, so it's rejected.
         faulty = session.config.with_(faults=FaultPlan(seed=1, drop_prob=0.1))
         with pytest.raises(ConfigError):
             session.submit(COUNT_Q, config=faulty)
         with pytest.raises(ConfigError):
-            session.submit(COUNT_Q, config=session.config.with_(recovery=True))
-        with pytest.raises(ConfigError):
             session.submit(COUNT_Q, config=session.config.with_(schedule_seed=3))
+        # recovery is no longer solo-only: it arms per-query checkpoints.
+        handle = session.submit(
+            COUNT_Q, config=session.config.with_(recovery=True)
+        )
+        session.drain()
+        assert handle.result().complete
 
     def test_close_cancels_outstanding_handles(self):
         session = connect(chain_graph(8), num_machines=2)
