@@ -23,6 +23,7 @@ from .config import (
     EngineConfig,
     FaultConfig,
     FlowConfig,
+    MembershipConfig,
     ObsConfig,
     RecoveryConfig,
 )
@@ -56,6 +57,7 @@ __all__ = [
     "FlowControlDeadlock",
     "GraphBuilder",
     "GraphError",
+    "MembershipConfig",
     "ObsConfig",
     "PgqlSyntaxError",
     "PlanningError",

@@ -334,6 +334,46 @@ class RuntimeSanitizer:
         self._delivered_frames = set(network._delivered)
 
     # ------------------------------------------------------------------
+    # Failure detection (repro.membership / docs/faults.md)
+    # ------------------------------------------------------------------
+    def on_membership_confirm(self, host, votes, quorum, population):
+        """A CONFIRMED-DOWN verdict must carry a real quorum.
+
+        Guards the no-minority-failover invariant at the source: a
+        confirmation backed by fewer than ``quorum`` of the ``population``
+        voting observers (live view + witness) would let a partition
+        minority evict the majority.
+        """
+        self.checks += 1
+        if votes < quorum:
+            self._fail(
+                "membership confirmation carries a quorum",
+                f"host {host} confirmed down with {votes} vote(s) < quorum "
+                f"{quorum} (voting population {population})",
+            )
+
+    def on_failover(self, dead, membership):
+        """No failover without a confirmed-down verdict.
+
+        Every host handed to a failover must be CONFIRMED-DOWN in the
+        membership service's detected state — recovery acting on ground
+        truth the detector never established is the oracle leak this PR
+        removes.  With no membership service attached (detection forced
+        off) the check is vacuous.
+        """
+        self.checks += 1
+        if membership is None:
+            return
+        for host in dead:
+            if not membership.is_confirmed_down(host):
+                self._fail(
+                    "no failover without confirmation",
+                    f"failover of host {host} requested but the membership "
+                    f"detector's verdict is {membership.state_of(host)!r} "
+                    "(not confirmed-down)",
+                )
+
+    # ------------------------------------------------------------------
     # Reachability index (Section 3.5)
     # ------------------------------------------------------------------
     def on_index_overwrite(self, index, source_path_id, dst_vertex, old, new):

@@ -589,6 +589,8 @@ def cmd_chaos(args):
         delay_prob=args.delay,
         reorder_prob=args.reorder,
         permanent=recover,
+        partitions=getattr(args, "partition", False),
+        corrupt_prob=getattr(args, "corrupt", 0.0),
     )
     config = EngineConfig(
         num_machines=args.machines, sanitize=args.sanitize, recovery=recover
@@ -1073,6 +1075,22 @@ def build_parser():
         action="store_true",
         help="sweep *permanent* machine crashes with crash recovery on: "
         "checkpoint/failover/replay must still reproduce fault-free results",
+    )
+    p.add_argument(
+        "--partition",
+        action="store_true",
+        help="add a scheduled network partition (symmetric, asymmetric, or "
+        "partial, with a heal round) to every plan; the heartbeat "
+        "membership detector must ride it out without a minority failover",
+    )
+    p.add_argument(
+        "--corrupt",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="per-message corruption probability; the transport checksum "
+        "must catch every corrupted frame and recover it as a loss "
+        "(default: 0.0)",
     )
     p.add_argument(
         "--concurrency",

@@ -100,6 +100,20 @@ class RecoveryConfig:
 
 
 @dataclass(frozen=True)
+class MembershipConfig:
+    """Failure-detection knobs as one group (:mod:`repro.membership`).
+
+    Pass as ``EngineConfig(detection=MembershipConfig(...))``; regrouped
+    view: ``config.membership_config``.
+    """
+
+    membership: Optional[bool] = None
+    heartbeat_interval: int = 2
+    suspect_after: int = 6
+    confirm_after: int = 24
+
+
+@dataclass(frozen=True)
 class EngineConfig:
     """Configuration of the simulated RPQd cluster.
 
@@ -203,9 +217,21 @@ class EngineConfig:
         admission_queue_limit: bounded pending-queue length for submissions
             beyond the concurrency limit; past it ``submit`` raises
             :class:`~repro.errors.AdmissionError`.
-        flow / obs / fault / resilience: optional grouped construction —
-            :class:`FlowConfig`, :class:`ObsConfig`, :class:`FaultConfig`,
-            :class:`RecoveryConfig` objects whose fields expand into the
+        membership: force the heartbeat failure detector
+            (:mod:`repro.membership`) on or off; ``None`` (default)
+            enables it exactly when a fault plan is attached.  Its
+            quorum-confirmed verdicts — never the injector's ground
+            truth — drive retransmit abandonment, the partial-results
+            downgrade, and crash-recovery failover.
+        heartbeat_interval / suspect_after / confirm_after: detector
+            timing on the virtual clock — probe cadence, per-observer
+            silence before suspicion, and the additional silence before
+            a suspicion becomes confirm-eligible (full detection window
+            = ``suspect_after + confirm_after`` rounds).
+        flow / obs / fault / resilience / detection: optional grouped
+            construction — :class:`FlowConfig`, :class:`ObsConfig`,
+            :class:`FaultConfig`, :class:`RecoveryConfig`,
+            :class:`MembershipConfig` objects whose fields expand into the
             flat fields of the same names (flat kwargs keep working; a
             disagreeing flat kwarg is a :class:`~repro.errors.ConfigError`).
         cost: the virtual-time cost model.
@@ -243,6 +269,20 @@ class EngineConfig:
     # Crash recovery (:mod:`repro.recovery`) and virtual-clock deadline.
     recovery: bool = False
     deadline: Optional[int] = None
+    # Failure detection (:mod:`repro.membership`): heartbeat membership
+    # service whose quorum-confirmed verdicts drive retransmit
+    # abandonment, the partial-results downgrade, and failover.  ``None``
+    # auto-enables exactly when a fault plan is attached (nothing can
+    # fail on a perfect cluster); ``False`` forces detection off even
+    # under faults — confirmed outages then surface as stall errors.
+    membership: Optional[bool] = None
+    # Rounds between heartbeat probe fan-outs.
+    heartbeat_interval: int = 2
+    # Silence (rounds) before one observer suspects a peer.
+    suspect_after: int = 6
+    # Additional silence before a suspicion is confirm-eligible; the full
+    # detection window is ``suspect_after + confirm_after`` rounds.
+    confirm_after: int = 24
     # Plan with sampled "scouting" probes instead of static selectivity
     # heuristics (the paper's cited scouting-queries planning technique).
     scouting: bool = False
@@ -263,6 +303,7 @@ class EngineConfig:
     obs: Optional[ObsConfig] = None
     fault: Optional[FaultConfig] = None
     resilience: Optional[RecoveryConfig] = None
+    detection: Optional[MembershipConfig] = None
     max_rounds: int = 2_000_000
     cost: CostModel = field(default_factory=CostModel)
     seed: int = 42
@@ -301,6 +342,7 @@ class EngineConfig:
         self._expand_group("obs", ObsConfig)
         self._expand_group("fault", FaultConfig)
         self._expand_group("resilience", RecoveryConfig)
+        self._expand_group("detection", MembershipConfig)
         if self.num_machines < 1:
             raise ConfigError(
                 f"num_machines must be >= 1 (got {self.num_machines})"
@@ -394,6 +436,42 @@ class EngineConfig:
                 "deadline must be None or a positive int in rounds "
                 f"(got {self.deadline!r})"
             )
+        if self.membership not in (None, True, False):
+            raise ConfigError(
+                "membership must be None, True, or False "
+                f"(got {self.membership!r})"
+            )
+        if self.heartbeat_interval < 1:
+            raise ConfigError(
+                "heartbeat_interval must be >= 1 "
+                f"(got {self.heartbeat_interval})"
+            )
+        if self.suspect_after < self.heartbeat_interval:
+            raise ConfigError(
+                "suspect_after must be >= heartbeat_interval "
+                f"(got {self.suspect_after} with heartbeat_interval="
+                f"{self.heartbeat_interval})"
+            )
+        if (
+            self.faults is not None
+            and self.membership_enabled
+            and self.suspect_after < self.heartbeat_interval + self.net_delay_rounds
+        ):
+            # A threshold tighter than one probe round-trip would suspect
+            # healthy peers every round.  Only enforced when the detector
+            # will actually run — a fault-free config never builds one.
+            raise ConfigError(
+                "suspect_after must be >= heartbeat_interval + "
+                f"net_delay_rounds (got {self.suspect_after} with "
+                f"heartbeat_interval={self.heartbeat_interval}, "
+                f"net_delay_rounds={self.net_delay_rounds}); raise "
+                "suspect_after for this slow interconnect or set "
+                "membership=False"
+            )
+        if self.confirm_after < 1:
+            raise ConfigError(
+                f"confirm_after must be >= 1 (got {self.confirm_after})"
+            )
         if self.recovery and self.reliable_transport is False:
             raise ConfigError(
                 "recovery requires the reliable transport layer "
@@ -437,6 +515,21 @@ class EngineConfig:
     def recovery_config(self):
         """The recovery/deadline fields regrouped as a :class:`RecoveryConfig`."""
         return self._regroup(RecoveryConfig)
+
+    @property
+    def membership_config(self):
+        """The failure-detection fields regrouped as a
+        :class:`MembershipConfig`."""
+        return self._regroup(MembershipConfig)
+
+    @property
+    def membership_enabled(self):
+        """Failure-detector resolution: explicit flag, else auto-on
+        exactly when a fault plan is attached (a perfect cluster has
+        nothing to detect)."""
+        if self.membership is not None:
+            return self.membership
+        return self.faults is not None
 
     @property
     def transport_enabled(self):

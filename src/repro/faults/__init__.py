@@ -10,7 +10,15 @@ transport layer in :mod:`repro.runtime.network`.  See ``docs/faults.md``.
 """
 
 from .injector import FaultInjector, message_kind
-from .plan import ALL_KINDS, FaultPlan, MachineCrash, MachineStall, seeded_sweep
+from .plan import (
+    ALL_KINDS,
+    PARTITION_MODES,
+    FaultPlan,
+    MachineCrash,
+    MachineStall,
+    NetworkPartition,
+    seeded_sweep,
+)
 from .sweep import (
     ChaosReport,
     ChaosRun,
@@ -30,6 +38,8 @@ __all__ = [
     "FaultPlan",
     "MachineCrash",
     "MachineStall",
+    "NetworkPartition",
+    "PARTITION_MODES",
     "message_kind",
     "run_chaos_sweep",
     "run_concurrent_chaos_sweep",

@@ -18,10 +18,17 @@ perturbs.
 import random
 from collections import Counter
 
-from ..runtime.message import Batch, DoneMessage, StatusMessage
+from ..runtime.message import Batch, DoneMessage, HeartbeatMessage, StatusMessage
 
-#: Verdict for an untouched transmission: (drop, extra_delay, duplicate).
-_CLEAN = (False, 0, False)
+#: Verdict for an untouched transmission:
+#: (drop, extra_delay, duplicate, corrupt).
+_CLEAN = (False, 0, False, False)
+
+#: Seed-stream separator for the probe-plane RNG (any odd constant):
+#: membership heartbeats draw their fault verdicts from a *separate*
+#: seeded stream so attaching the failure detector never perturbs the
+#: data-plane fault sequence of an existing plan.
+_PROBE_STREAM = 0x9E3779B9
 
 
 def message_kind(message):
@@ -32,6 +39,8 @@ def message_kind(message):
         return "done"
     if isinstance(message, StatusMessage):
         return "status"
+    if isinstance(message, HeartbeatMessage):
+        return "probe"
     return "ack"
 
 
@@ -43,9 +52,15 @@ class FaultInjector:
         self.plan = plan
         self.num_machines = num_machines
         self.rng = random.Random(plan.seed)
+        # Probe-plane verdicts come from their own stream (see
+        # _PROBE_STREAM): heartbeat traffic volume depends on detector
+        # config, and it must never shift the data-plane fault sequence.
+        self.probe_rng = random.Random(plan.seed ^ _PROBE_STREAM)
         self.obs = obs
         self.counts = Counter()
         self._kinds = frozenset(plan.kinds)
+        self._partitions = plan.partitions
+        self._partition_was_active = [False] * len(plan.partitions)
         # Per-machine downtime windows: (start, end_exclusive_or_None, kind).
         self._windows = [[] for _ in range(num_machines)]
         for stall in plan.stalls:
@@ -68,12 +83,26 @@ class FaultInjector:
     # Message-level faults (consulted by SimulatedNetwork._transmit)
     # ------------------------------------------------------------------
     def on_transmit(self, message, now_round):
-        """Fault verdict for one transmitted copy: (drop, extra, duplicate)."""
+        """Fault verdict for one transmitted copy:
+        ``(drop, extra_delay, duplicate, corrupt)``.
+
+        An active :class:`~repro.faults.plan.NetworkPartition` severing
+        ``src -> dst`` turns the verdict into an unconditional drop *before*
+        any RNG draw, so partitioned traffic never consumes the fault
+        stream (healing a partition replays the exact same post-heal fault
+        sequence as a plan without it).
+        """
         plan = self.plan
         kind = message_kind(message)
+        if self._partitions and self.link_blocked(
+            message.src_machine, message.dst_machine, now_round
+        ):
+            self.counts["partition_blocked"] += 1
+            return (True, 0, False, False)
         if kind not in self._kinds:
             return _CLEAN
-        rng = self.rng
+        # Probe traffic draws from its own stream (see _PROBE_STREAM).
+        rng = self.probe_rng if kind == "probe" else self.rng
         drop = plan.drop_prob > 0.0 and rng.random() < plan.drop_prob
         dup = plan.dup_prob > 0.0 and rng.random() < plan.dup_prob
         extra = 0
@@ -81,13 +110,32 @@ class FaultInjector:
             extra += rng.randint(1, plan.max_delay_rounds)
         if plan.reorder_prob > 0.0 and rng.random() < plan.reorder_prob:
             extra += rng.randint(0, plan.reorder_window)
+        corrupt = (
+            plan.corrupt_prob > 0.0 and rng.random() < plan.corrupt_prob
+        )
         if drop:
             self._record("drop", message, now_round)
         if dup:
             self._record("dup", message, now_round)
         if extra:
             self._record("delay", message, now_round, extra=extra)
-        return (drop, extra, dup)
+        if corrupt:
+            self._record("corrupt", message, now_round)
+        return (drop, extra, dup, corrupt)
+
+    def link_blocked(self, src, dst, round_no):
+        """True when an active partition severs the directed link
+        ``src -> dst``.  Witness links (endpoint ids >= ``num_machines``,
+        i.e. the membership coordination service) ride the consensus
+        group's own interconnect and are never severed by a data-plane
+        partition; partitions also never block a machine's loopback.
+        """
+        if src == dst or src >= self.num_machines or dst >= self.num_machines:
+            return False
+        for partition in self._partitions:
+            if partition.active(round_no) and partition.blocks(src, dst):
+                return True
+        return False
 
     def _record(self, fault, message, now_round, extra=None):
         self.counts[fault] += 1
@@ -128,6 +176,35 @@ class FaultInjector:
         emits ``fault.stall`` / ``fault.recover`` edge events so downtime
         windows are visible on the trace.
         """
+        for i, partition in enumerate(self._partitions):
+            active = partition.active(round_no)
+            was_active = self._partition_was_active[i]
+            if active and not was_active:
+                self.counts["partition"] += 1
+                if self.obs is not None:
+                    self.obs.cluster_instant(
+                        "fault.partition",
+                        args={
+                            "mode": partition.mode,
+                            "round": round_no,
+                            "heal_round": partition.heal_round,
+                        },
+                        round_no=round_no,
+                        cat="fault",
+                    )
+                    self.obs.metrics.counter(
+                        "repro_fault_injected_total",
+                        "faults injected into the simulated interconnect/cluster",
+                        ("kind",),
+                    ).labels("partition").inc()
+            elif was_active and not active and self.obs is not None:
+                self.obs.cluster_instant(
+                    "fault.heal",
+                    args={"mode": partition.mode, "round": round_no},
+                    round_no=round_no,
+                    cat="fault",
+                )
+            self._partition_was_active[i] = active
         crashed = self._crash_starts.get(round_no, ())
         for machine in crashed:
             self.counts["crash"] += 1
@@ -165,13 +242,23 @@ class FaultInjector:
             self._was_down[machine] = down
         return crashed
 
+    # ------------------------------------------------------------------
+    # Test-oracle ground truth (NOT a production input)
+    # ------------------------------------------------------------------
+    # The methods below expose the plan's ground truth for test oracles,
+    # sweep reports, and trace annotations ONLY.  Production recovery
+    # decisions must come from :mod:`repro.membership` — a detector that
+    # learns about peers purely through (missed) messages.  CI greps that
+    # no runtime/recovery code path calls these.
+
     def down_machines(self, round_no):
+        """Ground truth: machines down this round (test oracle only)."""
         return tuple(
             m for m in range(self.num_machines) if not self.machine_up(m, round_no)
         )
 
     def transient_down(self, round_no):
-        """Machines currently down that will come back."""
+        """Ground truth: down machines that will come back (test oracle only)."""
         return tuple(
             m
             for m in self.down_machines(round_no)
@@ -180,11 +267,13 @@ class FaultInjector:
 
     @property
     def permanent_machines(self):
-        """Machines whose plan includes a permanent crash (sorted tuple)."""
+        """Ground truth: machines whose plan includes a permanent crash
+        (sorted tuple; test oracle only)."""
         return self._permanent
 
     def permanent_down(self, round_no):
-        """Machines down now that never recover (partial-results trigger)."""
+        """Ground truth: machines down now that never recover
+        (test oracle only)."""
         return tuple(
             m for m in self._permanent if not self.machine_up(m, round_no)
         )

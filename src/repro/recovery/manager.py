@@ -41,9 +41,14 @@ replicated coordinator service a real deployment would run (e.g. on the
 checkpoint store's consensus group), which is why the crash of machine 0
 is as recoverable as any other.
 
-Failure detection is instant (the round the crash fires): the simulation
-does not model a failure-detector timeout, a deliberate simplification
-noted in docs/recovery.md.
+Failure detection is *not* instant, and it is not an oracle: failover
+triggers only on a quorum-confirmed verdict from the
+:class:`~repro.membership.MembershipService` — a heartbeat detector that
+learns about peers purely through (missed) messages.  When a membership
+service is attached, :meth:`RecoveryManager.rollback` asserts (via the
+sanitizer) that every host it is asked to fail over really carries a
+confirmed verdict: recovery cannot act on ground truth it should not
+have.
 """
 
 from collections import Counter
@@ -131,12 +136,13 @@ class RecoveryManager:
 
     def __init__(
         self, machines, network, dgraph, injector, sanitizer=None, obs=None,
-        prof=None, host_map=None, query_id=0,
+        prof=None, host_map=None, query_id=0, membership=None,
     ):
         self.machines = machines
         self.network = network
         self.dgraph = dgraph
         self.injector = injector
+        self.membership = membership
         self.sanitizer = sanitizer
         self.obs = obs
         self.prof = prof
@@ -269,6 +275,11 @@ class RecoveryManager:
         Bumps this query's recovery epoch, fencing its in-flight traffic;
         co-resident queries' channels are untouched.
         """
+        if dead and self.sanitizer is not None:
+            # No-failover-without-confirmation: when a membership service
+            # is attached, every host being failed over must carry a
+            # quorum-confirmed down verdict.
+            self.sanitizer.on_failover(dead, self.membership)
         self.epoch += 1
         self.network.epoch = self.epoch
         self.network.rehosted.update(orphaned)

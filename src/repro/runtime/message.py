@@ -147,6 +147,35 @@ class StatusMessage:
 
 
 @dataclass
+class HeartbeatMessage:
+    """Membership-detector probe: "machine ``src`` was alive this round".
+
+    Heartbeats ride the *probe plane* — a separate unreliable
+    :class:`~repro.runtime.network.SimulatedNetwork` owned by the
+    :class:`~repro.membership.MembershipService` — never
+    :meth:`Machine.deliver`.  ``dst_machine == num_machines`` addresses
+    the witness endpoint (the coordination service's own observer vote).
+    Probes carry no protocol payload: a lost probe just delays hearing.
+    """
+
+    src_machine: int
+    dst_machine: int
+    query_id: int = 0  # probes are cluster-level; kept for event shape
+    seq: int = field(default_factory=lambda: next(_seq))
+    tseq: object = None  # probes are never reliably delivered
+    epoch: int = 0
+
+    def clone(self):
+        new = HeartbeatMessage(
+            src_machine=self.src_machine,
+            dst_machine=self.dst_machine,
+            query_id=self.query_id,
+        )
+        new.seq = self.seq
+        return new
+
+
+@dataclass
 class AckMessage:
     """Transport-layer acknowledgement: ``acked_tseq`` arrived at ``src``.
 

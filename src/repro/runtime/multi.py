@@ -32,12 +32,16 @@ Chaos, reliability, and recovery (docs/faults.md, docs/recovery.md)
     down every query slice it hosts.  Reliability and recovery stay *per
     query*: each channel runs its own ARQ endpoints, and each
     recovery-enabled query cuts epoch checkpoints at its own
-    termination-protocol boundaries.  A permanent machine crash triggers
-    one cluster-level partition failover (the shared
-    :class:`~repro.recovery.HostMap`) and then rolls back **only the
-    queries that lost state on that machine** — co-resident queries
-    without recovery degrade to partial results exactly like the solo
-    path, and queries admitted later simply inherit the new placement.
+    termination-protocol boundaries.  Failure handling is
+    detection-driven: one cluster-level
+    :class:`~repro.membership.MembershipService` (failure is a property
+    of the machines, not of any one query) confirms crashes by quorum,
+    and only a confirmed verdict triggers the cluster-level partition
+    failover (the shared :class:`~repro.recovery.HostMap`), which then
+    rolls back **only the queries that lost state on that machine** —
+    co-resident queries without recovery degrade to partial results
+    exactly like the solo path, and queries admitted later simply
+    inherit the new placement.
     The invariant (asserted in tests/test_concurrency_chaos.py): every
     admitted query's result set is bit-identical to its fault-free solo
     run.
@@ -64,6 +68,7 @@ from ..errors import (
     ExecutionError,
     FlowControlDeadlock,
 )
+from ..membership import ProgressWatchdog, quorum_lost_error, resolve_stall
 from .machine import Machine
 from .network import ClusterNetwork
 from .stats import RunStats
@@ -134,7 +139,12 @@ class QueryTask:
         # repro: allow[RPQ103] wall-clock reporting only (RunStats.wall_seconds); never feeds protocol state
         self.started = time.perf_counter()
         self.concluded = [False] * config.num_machines
-        self.last_progress_round = 0
+        # Shared progress-tracking path (same class the solo scheduler
+        # uses): reset at admission and after every rollback.
+        self.watchdog = ProgressWatchdog(config.stall_limit)
+        # Cluster-level membership detector (set by the scheduler at
+        # submit time; None on a fault-free cluster).
+        self.membership = None
         self.quiescent_round = None  # local rounds (relative to admission)
         # Per-query crash recovery (set by the scheduler at submit time
         # when the query asked for it and the cluster can crash at all).
@@ -258,6 +268,11 @@ class QueryTask:
             # Cumulative cluster-wide phase aggregates as of this query's
             # finish (the shared round loop is not attributable per query).
             profile=self.prof.summary() if self.prof is not None else None,
+            membership=(
+                self.membership.summary()
+                if self.membership is not None
+                else None
+            ),
         )
         self.finished = True
         self.release_resources()
@@ -302,11 +317,24 @@ class ClusterScheduler:
             )
         else:
             self.injector = None
+        # One cluster-level failure detector (like the injector, failure
+        # is a property of the machines, not of any one query): every
+        # query's failover / partial / abandonment decisions ride the
+        # same quorum-confirmed verdicts.
+        if self.injector is not None and base_config.membership_enabled:
+            from ..membership import MembershipService
+
+            self.membership = MembershipService.from_config(
+                base_config, injector=self.injector
+            )
+        else:
+            self.membership = None
         self.network = ClusterNetwork(
             base_config.num_machines,
             base_config.net_delay_rounds,
             faults=self.injector,
             retransmit_timeout_rounds=base_config.retransmit_timeout_rounds,
+            membership=self.membership,
         )
         # Cluster-level failover state, created lazily with the first
         # recovery-enabled query: logical->physical placement is shared
@@ -389,7 +417,9 @@ class ClusterScheduler:
                 task.slices, channel, self.dgraph, self.injector,
                 sanitizer=sanitizer, obs=obs, prof=self.prof,
                 host_map=self._ensure_host_map(), query_id=query_id,
+                membership=self.membership,
             )
+        task.membership = self.membership
         self.pending.append(task)
         self._admit()
         return task
@@ -397,16 +427,25 @@ class ClusterScheduler:
     def _ensure_host_map(self):
         """Create the shared failover map with the first recovery query.
 
-        Seeded with any machines already permanently down: a query
-        admitted after a crash must never place state on the dead host.
+        Seeded with any machines the membership detector has already
+        confirmed down: a query admitted after a confirmed crash must
+        never place state on the dead host.  (A crash not yet confirmed
+        is — correctly — not visible here; the detector will confirm it
+        and failover will fire then.)
         """
         if self.host_map is None:
             from ..recovery import HostMap  # deferred: import cycle
 
             self.host_map = HostMap(self.config.num_machines)
-            already_dead = self.injector.permanent_down(self.round_no)
+            already_dead = (
+                self.membership.confirmed_down()
+                if self.membership is not None
+                else ()
+            )
             if already_dead:
                 self.host_map.fail_over(already_dead)
+                for host in already_dead:
+                    self.membership.fence(host, self.round_no)
         return self.host_map
 
     def _admit(self):
@@ -417,7 +456,7 @@ class ClusterScheduler:
         ):
             task = self.pending.pop(0)
             task.admitted_round = self.round_no + 1
-            task.last_progress_round = self.round_no
+            task.watchdog.reset(self.round_no)
             if task.recovery is not None:
                 # Initial checkpoint before the query's first round: a
                 # crash during depth-0 bootstrap rolls back to the
@@ -472,28 +511,35 @@ class ClusterScheduler:
         return (host,)
 
     def _apply_crashes(self, crashed, round_no):
-        """Crash instants: lose RX queues, then fail over + roll back.
+        """Crash instants: lose the crashed hosts' RX queues — nothing
+        else.
 
         The RX loss hits *every* query with a logical machine on the
         crashed host (durable machine state survives — fail-recover
-        model; reliable senders still hold the frames).  A *permanent*
-        crash additionally triggers one cluster-level failover, after
-        which only the recovery-enabled queries roll back to their own
-        latest checkpoints — that set is the crash's blast radius.
+        model; reliable senders still hold the frames).  Nobody *knows*
+        about the crash yet: failover waits for the membership detector's
+        quorum-confirmed verdict (:meth:`_apply_confirmed`).
         """
         for host in crashed:
             for task in self.active:
                 for logical in self._hosted_logicals(task, host):
                     task.channel.lose_queue(logical)
-        permanent_dead = [
-            h for h in crashed if h in self.injector.permanent_machines
-        ]
-        if not permanent_dead:
-            return
+
+    def _apply_confirmed(self, confirmed, round_no):
+        """Detection-driven failover: the membership detector just
+        CONFIRMED ``confirmed`` down.
+
+        Triggers one cluster-level failover (when any recovery-enabled
+        query ever armed the shared host map), after which only the
+        recovery-enabled queries roll back to their own latest
+        checkpoints — that set is the confirmation's blast radius.
+        Queries without recovery keep addressing the dead host and
+        degrade to partial results via their watchdogs.
+        """
         rolled = []
-        dead = list(permanent_dead)
+        dead = list(confirmed)
         if self.host_map is not None:
-            new_dead, orphaned = self.host_map.fail_over(permanent_dead)
+            new_dead, orphaned = self.host_map.fail_over(confirmed)
             if new_dead is None:
                 return  # already failed over (idempotent re-report)
             dead = list(new_dead)
@@ -506,9 +552,13 @@ class ClusterScheduler:
                 # replay.
                 for s in task.slices:
                     task.concluded[s.id] = s.protocol.concluded
-                task.last_progress_round = round_no
+                task.watchdog.reset(round_no)
                 task.quiescent_round = None
                 rolled.append(task.query_id)
+            # Failover executed: evict the dead hosts from the membership
+            # view for good.
+            for host in dead:
+                self.membership.fence(host, round_no)
         self.blast_radius.append(
             {"round": round_no, "dead": dead, "rolled_back": rolled}
         )
@@ -531,6 +581,15 @@ class ClusterScheduler:
             if crashed:
                 self._apply_crashes(crashed, round_no)
 
+        # Failure-detection phase: one detector round on the shared
+        # clock; newly confirmed hosts trigger the (cluster-level)
+        # failover for every recovery-enabled query.
+        membership = self.membership
+        if membership is not None:
+            confirmed = membership.tick(round_no)
+            if confirmed:
+                self._apply_confirmed(confirmed, round_no)
+
         # Delivery phase: each slice drains its query's private channel;
         # a down host receives nothing (messages wait in the network).
         if prof is not None:
@@ -539,7 +598,16 @@ class ClusterScheduler:
             for s in task.slices:
                 if not self._slice_up(task, s.id, round_no):
                     continue
-                s.deliver(self.network.drain(s.id, task.query_id, round_no))
+                delivered = self.network.drain(s.id, task.query_id, round_no)
+                if membership is not None and delivered:
+                    # Piggybacked liveness: every delivered message is
+                    # evidence its sender's host was alive.
+                    observer = task.host_of(s.id)
+                    for msg in delivered:
+                        membership.heard(
+                            observer, task.host_of(msg.src_machine), round_no
+                        )
+                s.deliver(delivered)
         if prof is not None:
             prof.exit()
 
@@ -578,16 +646,15 @@ class ClusterScheduler:
             prof.enter("sched.protocol")
         for task in list(self.active):
             if consumed_by_task[task.query_id] > 0.0:
-                task.last_progress_round = round_no
+                task.watchdog.observe(round_no, True)
                 task.quiescent_round = None
             else:
                 if task.quiescent_round is None and task.is_quiescent():
                     task.quiescent_round = task.local_round(round_no)
-                if injector is not None and injector.transient_down(round_no):
-                    # An outage is not a stall: hosts that will come back
-                    # (or retransmissions pending on their behalf) reset
-                    # the progress clock.
-                    task.last_progress_round = round_no
+                # An outage under deliberation is not a stall: the
+                # detector's unconfirmed suspicions reset the progress
+                # clock (hosts may come back, retransmissions pending).
+                task.watchdog.observe(round_no, False, membership)
             try:
                 if self._drive_protocol(task, round_no):
                     finished.append(task)
@@ -660,7 +727,7 @@ class ClusterScheduler:
         """
         local = task.local_round(round_no)
         config = task.config
-        injector = self.injector
+        membership = self.membership
         if local > config.max_rounds:
             raise ExecutionError(
                 f"query {task.query_id} exceeded max_rounds="
@@ -670,8 +737,11 @@ class ClusterScheduler:
         if config.deadline is not None and local > config.deadline:
             task.partial = True
             task.timed_out = True
-            if injector is not None:
-                task.down_machines = injector.permanent_down(round_no)
+            if membership is not None:
+                # The *detected* dead, not ground truth: a crash the
+                # detector had not confirmed by the deadline is
+                # indistinguishable from slowness.
+                task.down_machines = membership.confirmed_down()
             task.finalize(round_no)
             return True
         if local % config.status_interval == 0:
@@ -699,28 +769,21 @@ class ClusterScheduler:
                 # protocol: cut one whenever new channels terminated
                 # globally for *this* query.
                 task.recovery.maybe_checkpoint(round_no)
-        if round_no - task.last_progress_round > config.stall_limit:
-            permanent = (
-                injector.permanent_down(round_no)
-                if injector is not None
-                else ()
+        if task.watchdog.expired(round_no):
+            failed_over = (
+                task.recovery.failed_over if task.recovery is not None else ()
             )
-            if task.recovery is not None:
-                # Failed-over hosts are handled, not lost: they must not
-                # trigger the partial-results path.
-                permanent = tuple(
-                    m
-                    for m in permanent
-                    if m not in task.recovery.failed_over
-                )
-            if permanent:
-                # A machine that never comes back and this query does not
-                # recover from: give up on its share of the work and
-                # return what the survivors produced, flagged incomplete.
+            verdict, hosts = resolve_stall(membership, failed_over)
+            if verdict == "partial":
+                # Confirmed-down hosts this query did not recover from:
+                # give up on their share of the work and return what the
+                # survivors produced, flagged incomplete.
                 task.partial = True
-                task.down_machines = permanent
+                task.down_machines = hosts
                 task.finalize(round_no)
                 return True
+            if verdict == "quorum":
+                raise quorum_lost_error(hosts, round_no, config.stall_limit)
             task._diagnose_stall(round_no)
         return False
 

@@ -29,16 +29,35 @@ transport ACK traffic is tallied separately (``acks_sent`` /
 """
 
 import heapq
+import zlib
 
 from .message import ACK_BYTES, AckMessage, Batch, CONTROL_BYTES, DoneMessage, StatusMessage
 
 #: Retransmit backoff cap, in rounds of virtual time.
 MAX_RTO_ROUNDS = 64
-#: Retransmit attempts before a link gives up on a peer whose physical
-#: host is permanently down (and not failed over): the frame is dropped
-#: from the retransmit queue and counted in ``retx_exhausted`` instead of
-#: backing off forever against a machine that will never ack.
+#: Retransmit attempts before a link gives up on a peer the membership
+#: detector has CONFIRMED down (and no failover rehosted it): the frame
+#: is dropped from the retransmit queue and counted in ``retx_exhausted``
+#: instead of backing off forever against a machine that will never ack.
 MAX_RETX_ATTEMPTS = 8
+
+
+def frame_checksum(message):
+    """Modelled wire checksum of one frame (header fields only).
+
+    The simulation never flips payload bytes — corruption is modelled at
+    the verdict level — so the checksum only needs to be a deterministic
+    function of the frame the two endpoints agree on.  A corrupted copy
+    is stored with a flipped checksum and fails this check at the
+    receiver.
+    """
+    return zlib.crc32(
+        (
+            f"{type(message).__name__}:{message.src_machine}:"
+            f"{message.dst_machine}:{message.seq}:{message.tseq}:"
+            f"{message.epoch}"
+        ).encode()
+    )
 
 
 class SimulatedNetwork:
@@ -100,6 +119,17 @@ class SimulatedNetwork:
         # Logical machines moved to a surviving host: frames addressed to
         # them are never abandoned (the new host will ack them).
         self.rehosted = set()
+        # Membership detector (:mod:`repro.membership`): the transport's
+        # only source of "that peer is gone" — retransmit abandonment is
+        # gated on a *detected* confirmed-down verdict, never on the
+        # fault injector's ground truth.  None = never abandon.
+        self.membership = None
+        # Wire checksums are modelled only when the fault plan can
+        # actually corrupt frames; otherwise every copy carries None and
+        # the receive path skips verification entirely.
+        self._checksums = (
+            faults is not None and faults.plan.corrupt_prob > 0.0
+        )
         # --- transport / fault counters ---------------------------------
         self.retransmits = 0
         self.acks_sent = 0
@@ -109,7 +139,8 @@ class SimulatedNetwork:
         self.dropped = 0
         self.lost_in_crash = 0
         self.fenced = 0  # stale-epoch copies discarded at the receive path
-        self.retx_exhausted = 0  # frames abandoned to a permanently-down peer
+        self.corrupt_dropped = 0  # copies failing the wire checksum
+        self.retx_exhausted = 0  # frames abandoned to a confirmed-down peer
         self.frames_replayed = 0  # frames restored into the retransmit queue
 
     # ------------------------------------------------------------------
@@ -148,16 +179,22 @@ class SimulatedNetwork:
         else:
             self.total_messages += 1
             self.total_bytes += self._modelled_bytes(message)
-        drop, extra, dup = (False, 0, False)
+        drop, extra, dup, corrupt = (False, 0, False, False)
         if self.faults is not None and not self.settling:
-            drop, extra, dup = self.faults.on_transmit(message, now_round)
+            drop, extra, dup, corrupt = self.faults.on_transmit(
+                message, now_round
+            )
         if not drop:
-            self._push(message.dst_machine, now_round + delay + extra, message)
+            self._push(
+                message.dst_machine, now_round + delay + extra, message,
+                corrupt=corrupt,
+            )
         else:
             self.dropped += 1
         if dup:
             # The duplicated copy travels independently, one round later;
-            # it is a transmitted copy too, but gets no second verdict.
+            # it is a transmitted copy too, but gets no second verdict
+            # (and arrives uncorrupted even when the first copy did not).
             if isinstance(message, AckMessage):
                 self.acks_sent += 1
                 self.transport_bytes += ACK_BYTES
@@ -166,14 +203,23 @@ class SimulatedNetwork:
                 self.total_bytes += self._modelled_bytes(message)
             self._push(message.dst_machine, now_round + delay + extra + 1, message)
 
-    def _push(self, dst, round_, message):
+    def _push(self, dst, round_, message, corrupt=False):
         # The epoch is recorded per *copy* at push time (not on the shared
         # message object): a frame replayed after a rollback gets fresh
         # current-epoch copies while its stale pre-recovery copies, still
         # queued, keep the old stamp and are fenced at the receive path.
+        # The checksum travels per copy too: a corrupted copy stores a
+        # flipped checksum and is caught (and discarded) at the receiver,
+        # while a retransmission of the same frame arrives clean.
         self._counter += 1
+        checksum = None
+        if self._checksums:
+            checksum = frame_checksum(message)
+            if corrupt:
+                checksum ^= 1 << (self._counter % 32)
         heapq.heappush(
-            self._queues[dst], (round_, self._counter, message, self.epoch)
+            self._queues[dst],
+            (round_, self._counter, message, self.epoch, checksum),
         )
 
     def _modelled_bytes(self, message):
@@ -198,7 +244,26 @@ class SimulatedNetwork:
         queue = self._queues[machine_id]
         out = []
         while queue and queue[0][0] <= now_round:
-            _, _, message, copy_epoch = heapq.heappop(queue)
+            _, _, message, copy_epoch, checksum = heapq.heappop(queue)
+            if checksum is not None and checksum != frame_checksum(message):
+                # Corrupted on the wire: the checksum catches it and the
+                # endpoint discards the copy — corruption degrades to
+                # loss.  Under reliable transport the frame is never
+                # acked, so the sender's timer retransmits a clean copy;
+                # without it the frame is simply gone.
+                self.corrupt_dropped += 1
+                if self.obs is not None:
+                    self.obs.cluster_instant(
+                        "net.corrupt_dropped",
+                        args={"dst": machine_id},
+                        round_no=now_round,
+                        cat="net",
+                    )
+                    self.obs.metrics.counter(
+                        "repro_net_corrupt_dropped_total",
+                        "message copies discarded for checksum mismatch",
+                    ).labels().inc()
+                continue
             if copy_epoch < self.epoch:
                 # Stale in-flight copy from before a recovery rollback:
                 # fence it.  ACKs are fenced too — an old-epoch ACK must
@@ -287,15 +352,17 @@ class SimulatedNetwork:
                 entry[3] = now_round + 1
                 continue
             if (
-                self.faults is not None
-                and not self.settling
+                not self.settling
                 and dst not in self.rehosted
-                and dst in self.faults.permanent_machines
-                and not self.faults.machine_up(self._host_of(dst), now_round)
+                and self.membership is not None
+                and self.membership.is_confirmed_down(self._host_of(dst))
                 and entry[1] >= MAX_RETX_ATTEMPTS
             ):
-                # The peer is permanently down with no failover in place:
-                # give up on the link instead of backing off forever.
+                # The membership detector confirmed the peer down and no
+                # failover rehosted it: give up on the link instead of
+                # backing off forever.  This is a *detected* verdict —
+                # the transport never consults the injector's ground
+                # truth about who is permanently dead.
                 del self._outstanding[key]
                 self.retx_exhausted += 1
                 if self.obs is not None:
@@ -307,13 +374,13 @@ class SimulatedNetwork:
                     )
                     self.obs.metrics.counter(
                         "repro_net_retx_exhausted_total",
-                        "frames abandoned to permanently-down peers",
+                        "frames abandoned to confirmed-down peers",
                     ).labels().inc()
                 if self.sanitizer is not None:
                     self.sanitizer.note(
                         "retx_exhausted",
                         f"link {src}->{dst} gave up on tseq {key[2]} after "
-                        f"{entry[1]} attempts (peer permanently down)",
+                        f"{entry[1]} attempts (peer confirmed down)",
                     )
                 continue
             message, attempts, rto, _ = entry
@@ -402,7 +469,7 @@ class SimulatedNetwork:
     def pending_kinds(self):
         counts = {"batch": 0, "done": 0, "status": 0}
         for queue in self._queues:
-            for _, _, message, _ in queue:
+            for _, _, message, _, _ in queue:
                 if isinstance(message, Batch):
                     counts["batch"] += 1
                 elif isinstance(message, DoneMessage):
@@ -450,6 +517,7 @@ class SimulatedNetwork:
             "lost_in_crash": self.lost_in_crash,
             "unacked": len(self._outstanding),
             "fenced": self.fenced,
+            "corrupt_dropped": self.corrupt_dropped,
             "retx_exhausted": self.retx_exhausted,
             "frames_replayed": self.frames_replayed,
         }
@@ -477,13 +545,17 @@ class ClusterNetwork:
 
     def __init__(
         self, num_machines, net_delay_rounds=1, faults=None,
-        retransmit_timeout_rounds=None,
+        retransmit_timeout_rounds=None, membership=None,
     ):
         self.num_machines = num_machines
         self.delay = net_delay_rounds
         # Shared fault injector (None = perfect interconnect): every
         # channel consults the same seeded verdict stream.
         self.faults = faults
+        # Shared membership detector: one failure detector serves the
+        # whole cluster, so every query's channel abandons retransmits on
+        # the same confirmed-down verdicts.
+        self.membership = membership
         self.retransmit_timeout_rounds = retransmit_timeout_rounds
         self._channels = {}  # query_id -> SimulatedNetwork, admission order
         # Traffic of already-closed channels, kept so cluster totals are
@@ -524,6 +596,7 @@ class ClusterNetwork:
         )
         channel.hosts = hosts
         channel.rehosted.update(rehosted)
+        channel.membership = self.membership
         self._channels[query_id] = channel
         return channel
 

@@ -10,11 +10,17 @@ paper's relative shapes (scaling with machine count, single-machine
 bottlenecks on narrow starts, flow-control stalls costing real time) without
 depending on Python wall-clock behaviour.
 
-The scheduler also watches ground truth as a safety net: if no machine makes
-progress for a long stretch it distinguishes a flow-control deadlock (work
-outstanding, everyone blocked) from a termination-protocol failure (cluster
-quiescent, protocol never concluding) and raises accordingly — both would be
-bugs, and tests assert they never happen.
+Failure handling is detection-driven: under fault injection a
+:class:`~repro.membership.MembershipService` runs on the same virtual
+clock, and failover / partial-results decisions trigger only on its
+quorum-confirmed verdicts — never on the injector's ground truth.  A
+shared :class:`~repro.membership.ProgressWatchdog` tracks progress; when
+it expires, :func:`~repro.membership.resolve_stall` distinguishes a
+confirmed-down peer (partial results), a suspected partition minority
+(quorum-lost error), a flow-control deadlock (work outstanding, everyone
+blocked), and a termination-protocol failure (cluster quiescent, protocol
+never concluding) — the last two would be bugs, and tests assert they
+never happen.
 """
 
 import random
@@ -22,6 +28,7 @@ import time
 
 from ..analysis.sanitizer import sanitizer_from_config
 from ..errors import ExecutionError, FlowControlDeadlock
+from ..membership import ProgressWatchdog, quorum_lost_error, resolve_stall
 from .machine import Machine
 from .network import SimulatedNetwork
 from .stats import RunStats
@@ -71,6 +78,19 @@ class QueryExecution:
             )
         else:
             self.injector = None
+        # Failure detection (:mod:`repro.membership`): only meaningful
+        # under fault injection — on a perfect cluster nothing can fail,
+        # and skipping the detector keeps fault-free runs bit-identical
+        # to a build without the subsystem.
+        if self.injector is not None and config.membership_enabled:
+            from ..membership import MembershipService
+
+            self.membership = MembershipService.from_config(
+                config, injector=self.injector, obs=recorder,
+                sanitizer=self.sanitizer,
+            )
+        else:
+            self.membership = None
         self.network = SimulatedNetwork(
             config.num_machines,
             config.net_delay_rounds,
@@ -82,6 +102,9 @@ class QueryExecution:
             sanitizer=self.sanitizer,
             prof=prof,
         )
+        # The transport abandons retransmits only on *detected*
+        # confirmed-down verdicts.
+        self.network.membership = self.membership
         # Partial-results epilogue state: set when a permanently-down
         # machine keeps the termination protocol from ever concluding
         # (recovery off), or when the run hits the virtual-clock deadline.
@@ -111,6 +134,7 @@ class QueryExecution:
             self.recovery = RecoveryManager(
                 self.machines, self.network, dgraph, self.injector,
                 sanitizer=self.sanitizer, obs=recorder, prof=prof,
+                membership=self.membership,
             )
         else:
             self.recovery = None
@@ -127,14 +151,15 @@ class QueryExecution:
         # repro: allow[RPQ103] wall-clock reporting only (RunStats.wall_seconds); never feeds protocol state
         started = time.perf_counter()
         round_no = 0
-        last_progress = 0
         quiescent_round = None
         concluded = [False] * len(self.machines)
         obs = self.obs
         prof = self.prof
         injector = self.injector
+        membership = self.membership
         status_interval = self.config.status_interval
         stall_limit = self.config.stall_limit
+        watchdog = ProgressWatchdog(stall_limit)
         if obs is not None:
             obs.cluster_instant("query.start", args={"stages": len(self.plan.stages)})
         if self.recovery is not None:
@@ -156,8 +181,11 @@ class QueryExecution:
                 # machines produced so far, flagged incomplete+timed out.
                 self.partial = True
                 self.timed_out = True
-                if injector is not None:
-                    self.down_machines = injector.permanent_down(round_no)
+                if membership is not None:
+                    # Report the *detected* dead, not ground truth: a
+                    # crash the detector had not confirmed by the
+                    # deadline is indistinguishable from slowness.
+                    self.down_machines = membership.confirmed_down()
                 if obs is not None:
                     obs.cluster_instant(
                         "scheduler.deadline",
@@ -174,7 +202,9 @@ class QueryExecution:
                     # network RX buffers — for every logical machine it
                     # runs; durable machine state survives (fail-recover).
                     # Reliable senders still hold the frames and will
-                    # retransmit.
+                    # retransmit.  Nothing else happens at the crash
+                    # instant: nobody *knows* yet — failover waits for
+                    # the membership detector's confirmed verdict.
                     hosted = (
                         (host,)
                         if self.recovery is None
@@ -182,25 +212,37 @@ class QueryExecution:
                     )
                     for logical in hosted:
                         self.network.lose_queue(logical)
-                if self.recovery is not None and crashed:
-                    permanent_dead = [
-                        host
-                        for host in crashed
-                        if host in injector.permanent_machines
-                    ]
-                    if self.recovery.recover(permanent_dead, round_no) is not None:
+            if membership is not None:
+                confirmed = membership.tick(round_no)
+                if confirmed and self.recovery is not None:
+                    if self.recovery.recover(confirmed, round_no) is not None:
                         # The global rollback may rewind conclusions:
                         # re-sync the scheduler's view of who concluded
                         # and reset the progress clock for the replay.
                         for machine in self.machines:
                             concluded[machine.id] = machine.protocol.concluded
-                        last_progress = round_no
+                        watchdog.reset(round_no)
+                    # Failover executed: evict the dead hosts from the
+                    # membership view for good.
+                    for host in confirmed:
+                        membership.fence(host, round_no)
             if prof is not None:
                 prof.enter("sched.deliver")
             for machine in self.machines:
                 if not self._machine_up(machine.id, round_no):
                     continue  # messages wait in the network
-                machine.deliver(self.network.drain(machine.id, round_no))
+                delivered = self.network.drain(machine.id, round_no)
+                if membership is not None and delivered:
+                    # Piggybacked liveness: every delivered data-plane
+                    # message is evidence its sender's host was alive.
+                    observer = self.network._host_of(machine.id)
+                    for msg in delivered:
+                        membership.heard(
+                            observer,
+                            self.network._host_of(msg.src_machine),
+                            round_no,
+                        )
+                machine.deliver(delivered)
             if prof is not None:
                 prof.exit()
             rng = self._sched_rng
@@ -275,7 +317,7 @@ class QueryExecution:
                     # cut one whenever new channels terminated globally.
                     self.recovery.maybe_checkpoint(round_no)
             if progress > 0.0:
-                last_progress = round_no
+                watchdog.observe(round_no, True)
                 quiescent_round = None
             else:
                 # Record when all query work (not protocol heartbeats) is
@@ -283,38 +325,32 @@ class QueryExecution:
                 # still decides when machines actually stop.
                 if quiescent_round is None and self.ground_truth_quiescent():
                     quiescent_round = round_no
-                if injector is not None and injector.transient_down(round_no):
-                    # An outage is not a stall: machines that will recover
-                    # (or retransmissions pending on their behalf) reset
-                    # the progress clock.
-                    last_progress = round_no
-                elif round_no - last_progress > stall_limit:
-                    permanent = (
-                        injector.permanent_down(round_no)
-                        if injector is not None
+                # An outage under deliberation is not a stall: unconfirmed
+                # suspicions (the detected analogue of "they might come
+                # back, retransmissions pending") reset the progress clock.
+                watchdog.observe(round_no, False, membership)
+                if watchdog.expired(round_no):
+                    failed_over = (
+                        self.recovery.failed_over
+                        if self.recovery is not None
                         else ()
                     )
-                    if self.recovery is not None:
-                        # Failed-over hosts are handled, not lost: they
-                        # must not trigger the partial-results path.
-                        permanent = tuple(
-                            m
-                            for m in permanent
-                            if m not in self.recovery.failed_over
-                        )
-                    if permanent:
-                        # A machine that never comes back: give up on its
-                        # share of the work and return what the survivors
-                        # produced, flagged incomplete.
+                    verdict, hosts = resolve_stall(membership, failed_over)
+                    if verdict == "partial":
+                        # Confirmed-down hosts nobody failed over: give up
+                        # on their share of the work and return what the
+                        # survivors produced, flagged incomplete.
                         self.partial = True
-                        self.down_machines = permanent
+                        self.down_machines = hosts
                         if obs is not None:
                             obs.cluster_instant(
                                 "scheduler.partial",
-                                args={"down": list(permanent), "round": round_no},
+                                args={"down": list(hosts), "round": round_no},
                                 round_no=round_no,
                             )
                         break
+                    if verdict == "quorum":
+                        raise quorum_lost_error(hosts, round_no, stall_limit)
                     self._diagnose_stall(round_no)
 
         if self.sanitizer is not None and not self.partial:
@@ -349,6 +385,9 @@ class QueryExecution:
             ),
             timed_out=self.timed_out,
             profile=prof.summary() if prof is not None else None,
+            membership=(
+                membership.summary() if membership is not None else None
+            ),
         )
 
     def _settle_and_audit(self, round_no):

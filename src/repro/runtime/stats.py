@@ -101,6 +101,7 @@ class RunStats:
         recovery=None,
         timed_out=False,
         profile=None,
+        membership=None,
     ):
         self.per_machine = machine_stats
         self.rounds = rounds
@@ -127,6 +128,10 @@ class RunStats:
         # ``EngineConfig.deadline`` expired before the protocol concluded.
         self.recovery = recovery
         self.timed_out = timed_out
+        # Failure-detection epilogue (:mod:`repro.membership`): the
+        # detector's summary dict (view, verdicts, probe traffic,
+        # detection latencies) when the membership service ran, else None.
+        self.membership = membership
         # Wall-clock phase breakdown (:mod:`repro.obs.prof`): the
         # profiler's ``summary()`` dict when ``EngineConfig.profile`` was
         # on, else None.  Deliberately kept out of :meth:`summary` — wall
@@ -262,4 +267,6 @@ class RunStats:
             out["transport"] = dict(self.transport)
         if self.recovery is not None:
             out["recovery"] = dict(self.recovery)
+        if self.membership is not None:
+            out["membership"] = dict(self.membership)
         return out

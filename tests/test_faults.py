@@ -257,12 +257,12 @@ class TestInjector:
             injector = FaultInjector(plan, num_machines=2)
             runs.append([injector.on_transmit(_batch(), r) for r in range(50)])
         assert runs[0] == runs[1]
-        assert any(v != (False, 0, False) for v in runs[0])
+        assert any(v != (False, 0, False, False) for v in runs[0])
 
     def test_kind_filter(self):
         plan = FaultPlan(seed=3, drop_prob=1.0, kinds=("status",))
         injector = FaultInjector(plan, num_machines=2)
-        assert injector.on_transmit(_batch(), 1) == (False, 0, False)
+        assert injector.on_transmit(_batch(), 1) == (False, 0, False, False)
 
     def test_machine_windows(self):
         plan = FaultPlan(

@@ -23,6 +23,7 @@ from repro.faults import (
     seeded_sweep,
 )
 from repro.graph.generators import random_graph, reply_forest
+from repro.membership import MembershipService
 from repro.recovery import CheckpointStore, ClusterCheckpoint
 from repro.runtime.message import Batch
 from repro.runtime.network import MAX_RETX_ATTEMPTS, SimulatedNetwork
@@ -246,18 +247,25 @@ class TestDeadline:
 # Retransmit exhaustion (no failover in place)
 # ----------------------------------------------------------------------
 class TestRetxExhaustion:
-    def test_link_gives_up_on_permanently_down_peer(self):
+    def test_link_gives_up_on_confirmed_down_peer(self):
+        """Abandonment is detection-driven: the link gives up only after
+        the membership service CONFIRMS the peer down (never by peeking
+        at the injector's permanent-crash ground truth)."""
         plan = FaultPlan(seed=1, crashes=(MachineCrash(machine=1, round=1),))
         injector = FaultInjector(plan, 2)
         net = SimulatedNetwork(2, reliable=True, faults=injector)
+        membership = MembershipService(2, injector=injector)
+        net.membership = membership
         batch = Batch(src_machine=0, dst_machine=1, target_stage=0, depth=0)
         batch.add(5, [5])
         net.send(batch, now_round=2)
         for round_no in range(3, 800):
+            membership.tick(round_no)
             net.tick(round_no)
             net.drain(0, round_no)
             if not net._outstanding:
                 break
+        assert membership.is_confirmed_down(1)
         assert net.retx_exhausted == 1
         assert not net._outstanding
         assert net.transport_summary()["retx_exhausted"] == 1
