@@ -19,6 +19,7 @@ Public API highlights:
 """
 
 from .config import (
+    BackendConfig,
     CostModel,
     EngineConfig,
     FaultConfig,
@@ -47,6 +48,7 @@ __version__ = "1.1.0"
 
 __all__ = [
     "AdmissionError",
+    "BackendConfig",
     "ConfigError",
     "CostModel",
     "Direction",

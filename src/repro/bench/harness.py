@@ -52,18 +52,22 @@ class BenchResult:
     metric_summaries: dict = field(default_factory=dict)
 
 
-def host_info():
+def host_info(backend="sim"):
     """The machine identity wall-clock numbers are relative to.
 
     Virtual-time results are host-independent; wall seconds are not, so
     every ``BENCH_*.json`` embeds this dict and :mod:`repro.bench.compare`
-    warns when baselines cross hosts.
+    warns when baselines cross hosts.  ``backend`` records which
+    execution substrate (:mod:`repro.runtime.backend`) produced the wall
+    numbers — process-backend seconds are not comparable to simulator
+    seconds.
     """
     return {
         "platform": platform.platform(),
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "cpu_count": os.cpu_count(),
+        "backend": backend,
     }
 
 

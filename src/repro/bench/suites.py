@@ -117,7 +117,7 @@ SUITES = {
 
 
 def run_suite(name, scale=None, machines=None, repetitions=None,
-              profile=True, seed=7, only=None):
+              profile=True, seed=7, only=None, backend="sim"):
     """Run suite ``name`` and return the ``BENCH_*.json`` document (a dict).
 
     ``scale``/``machines``/``repetitions`` override the suite's defaults;
@@ -125,6 +125,16 @@ def run_suite(name, scale=None, machines=None, repetitions=None,
     drops the per-phase wall-clock breakdown (and its small overhead).
     Raises ``KeyError`` for an unknown suite and ``ValueError`` for an
     unknown ``only`` name.
+
+    ``backend`` selects the execution substrate
+    (:mod:`repro.runtime.backend`).  With ``backend="process"`` each
+    query additionally runs once on the simulator as the verification
+    oracle, and the per-query documents carry the wall-clock-vs-virtual
+    comparison columns: ``virtual_rounds`` is the *simulator's* makespan
+    (the process backend has no virtual clock), ``sim_wall_seconds`` its
+    single-shot wall time, ``wall_speedup_vs_sim`` the ratio of that to
+    the process backend's median wall, and ``identical_to_sim`` whether
+    the result sets were bit-identical.
     """
     from ..config import EngineConfig
     from ..datagen import mini_ldbc
@@ -150,17 +160,28 @@ def run_suite(name, scale=None, machines=None, repetitions=None,
 
     sessions = {}
     cache_deltas = {}  # (engine, query) -> [hits, misses]
+    rows_seen = {}  # (engine, query text) -> last run's result rows
     executors = {}
     for ename, overrides in suite.engines:
         config = EngineConfig(
-            num_machines=machines, profile=profile, **overrides
+            num_machines=machines, profile=profile, backend=backend,
+            **overrides,
         )
         session = Session(graph, config)
         sessions[ename] = session
-        executors[ename] = _counting_executor(session, ename, cache_deltas)
+        executors[ename] = _counting_executor(
+            session, ename, cache_deltas, rows_seen
+        )
 
-    harness = BenchHarness(repetitions=repetitions, warmup=suite.warmup)
-    cells = harness.run(executors, queries)
+    try:
+        harness = BenchHarness(repetitions=repetitions, warmup=suite.warmup)
+        cells = harness.run(executors, queries)
+        oracle = {}
+        if backend == "process":
+            oracle = _sim_oracle(graph, suite, queries, machines)
+    finally:
+        for session in sessions.values():
+            session.close()
 
     multi_engine = len(suite.engines) > 1
     query_docs = {}
@@ -169,7 +190,7 @@ def run_suite(name, scale=None, machines=None, repetitions=None,
             cell = cells[(ename, qname)]
             key = f"{qname}[{ename}]" if multi_engine else qname
             hits, misses = cache_deltas.get((ename, queries[qname]), (0, 0))
-            query_docs[key] = {
+            doc = {
                 "median_wall_seconds": cell.wall_seconds,
                 "virtual_rounds": cell.virtual_time,
                 "messages": cell.messages,
@@ -180,6 +201,17 @@ def run_suite(name, scale=None, machines=None, repetitions=None,
                 "complete": cell.complete,
                 "samples": [list(s) for s in cell.samples],
             }
+            if backend == "process":
+                ref_rows, sim_rounds, sim_wall = oracle[(ename, qname)]
+                doc["virtual_rounds"] = sim_rounds
+                doc["sim_wall_seconds"] = sim_wall
+                doc["wall_speedup_vs_sim"] = (
+                    sim_wall / cell.wall_seconds if cell.wall_seconds else None
+                )
+                doc["identical_to_sim"] = (
+                    rows_seen.get((ename, queries[qname])) == ref_rows
+                )
+            query_docs[key] = doc
 
     hits = sum(s.plan_cache.hits for s in sessions.values())
     misses = sum(s.plan_cache.misses for s in sessions.values())
@@ -195,7 +227,8 @@ def run_suite(name, scale=None, machines=None, repetitions=None,
         "warmup": suite.warmup,
         "profile_enabled": bool(profile),
         "latency_unit": "virtual rounds",
-        "host": host_info(),
+        "backend": backend,
+        "host": host_info(backend=backend),
         "peak_rss_bytes": peak_rss_bytes(),
         "plan_cache": {
             "hits": hits,
@@ -214,7 +247,34 @@ def run_suite(name, scale=None, machines=None, repetitions=None,
     }
 
 
-def _counting_executor(session, ename, cache_deltas):
+def _sim_oracle(graph, suite, queries, machines):
+    """One simulator pass per (engine, query): the verification oracle.
+
+    Returns ``{(engine, query name): (rows, virtual rounds, wall s)}``
+    used to fill the process-backend comparison columns.
+    """
+    import time
+
+    from ..config import EngineConfig
+    from ..session import Session
+
+    oracle = {}
+    for ename, overrides in suite.engines:
+        config = EngineConfig(
+            num_machines=machines, profile=False, **overrides
+        )
+        with Session(graph, config) as session:
+            for qname, qtext in queries.items():
+                started = time.perf_counter()
+                ref = session.execute(qtext)
+                wall = time.perf_counter() - started
+                oracle[(ename, qname)] = (
+                    ref.rows, ref.stats.virtual_time, wall
+                )
+    return oracle
+
+
+def _counting_executor(session, ename, cache_deltas, rows_seen=None):
     """Wrap ``session.execute`` to attribute plan-cache hits per query.
 
     The harness's round-robin interleaves queries on one shared session, so
@@ -222,6 +282,10 @@ def _counting_executor(session, ename, cache_deltas):
     Deltas are keyed by ``(engine, query_text)`` — the harness hands
     executors the text, not the name — and include warm-up passes (whose
     compile misses are exactly what the hit rate should expose).
+
+    ``rows_seen`` (same keying) captures each cell's last result rows so
+    process-backend runs can be checked bit-for-bit against the simulator
+    oracle without rerunning anything.
     """
 
     def execute(query_text):
@@ -230,6 +294,8 @@ def _counting_executor(session, ename, cache_deltas):
         delta = cache_deltas.setdefault((ename, query_text), [0, 0])
         delta[0] += session.plan_cache.hits - before[0]
         delta[1] += session.plan_cache.misses - before[1]
+        if rows_seen is not None:
+            rows_seen[(ename, query_text)] = result.rows
         return result
 
     return execute

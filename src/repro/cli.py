@@ -4,7 +4,9 @@ Subcommands:
 
 * ``generate`` — write an LDBC-SNB-like graph to a JSON-lines file;
 * ``query`` — run a PGQL query over a JSON-lines graph with a chosen
-  engine (``rpqd``, ``bft``, ``recursive``);
+  engine (``rpqd``, ``bft``, ``recursive``); ``--backend process`` runs
+  the rpqd engine on the process-parallel execution backend
+  (:mod:`repro.runtime.backend`) instead of the deterministic simulator;
 * ``explain`` — print the distributed plan for a query;
 * ``workload`` — run the paper's nine benchmark queries on a generated
   graph and print a latency table (``--json`` for machine-readable rows,
@@ -17,6 +19,9 @@ Subcommands:
   schema-versioned ``BENCH_<suite>.json`` trajectory document;
   ``--compare BASELINE.json`` gates against a committed baseline with
   configurable thresholds (exit 0 ok / 1 regression / 2 usage-IO error);
+  ``--backend process`` benchmarks the process-parallel backend and adds
+  per-query sim-oracle columns (``sim_wall_seconds``,
+  ``wall_speedup_vs_sim``, ``identical_to_sim``) to the document;
 * ``trace`` — validate and pretty-print a trace file produced by
   ``query --trace-out`` (Chrome trace JSON or JSONL event log);
 * ``analyze`` — static analysis: the repo-specific protocol lint rules
@@ -75,6 +80,18 @@ def _add_engine_args(parser):
         action="store_true",
         help="disable the reachability index (safe on acyclic expansions only)",
     )
+    _add_backend_arg(parser)
+
+
+def _add_backend_arg(parser):
+    parser.add_argument(
+        "--backend",
+        choices=["sim", "process"],
+        default="sim",
+        help="execution backend for rpqd: 'sim' is the deterministic "
+        "simulator, 'process' runs each partition's machine loop in a "
+        "real OS process (default: sim)",
+    )
 
 
 def _make_engine(args, graph):
@@ -82,7 +99,7 @@ def _make_engine(args, graph):
         return BftEngine(graph)
     if args.engine == "recursive":
         return RecursiveEngine(graph)
-    overrides = {}
+    overrides = {"backend": getattr(args, "backend", "sim")}
     faults_file = getattr(args, "faults", None)
     if faults_file:
         from .faults import FaultPlan
@@ -125,8 +142,14 @@ def cmd_generate(args):
 
 
 def cmd_query(args):
+    from .errors import ConfigError
+
     graph = load_graph(args.graph)
-    engine = _make_engine(args, graph)
+    try:
+        engine = _make_engine(args, graph)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     query = args.query
     if query == "-":
         query = sys.stdin.read()
@@ -139,13 +162,29 @@ def cmd_query(args):
             file=sys.stderr,
         )
         return 2
-    if args.engine == "rpqd":
-        result = engine.execute(
-            query, trace=args.timeline, observe=observe or None,
-            profile=True if explain_analyze else None,
+    if getattr(args, "backend", "sim") == "process" and (
+            observe or args.timeline):
+        print(
+            "error: --trace-out/--metrics-out/--timeline require "
+            "--backend sim (the process backend has no virtual-time "
+            "trace recorder)",
+            file=sys.stderr,
         )
-    else:
-        result = engine.execute(query)
+        return 2
+    try:
+        if args.engine == "rpqd":
+            result = engine.execute(
+                query, trace=args.timeline, observe=observe or None,
+                profile=True if explain_analyze else None,
+            )
+        else:
+            result = engine.execute(query)
+    finally:
+        # Sessions may own process-backend resources (shared-memory CSR
+        # segments); baseline engines have no close().
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
     if explain_analyze:
         # EXPLAIN ANALYZE replaces the row output: the annotated plan with
         # actual cardinalities, timing, volume, and the phase breakdown.
@@ -333,10 +372,18 @@ def cmd_analyze(args):
 def cmd_workload(args):
     from .datagen import BENCHMARK_QUERIES, mini_ldbc
 
+    backend = getattr(args, "backend", "sim")
     graph, info = mini_ldbc(args.scale, seed=args.seed)
     if getattr(args, "concurrency", 0) and args.concurrency > 1:
+        if backend == "process":
+            print(
+                "error: --concurrency requires --backend sim (the process "
+                "backend has no concurrent multi-query scheduler yet)",
+                file=sys.stderr,
+            )
+            return 2
         return _workload_concurrent(args, graph, info, BENCHMARK_QUERIES)
-    overrides = {}
+    overrides = {"backend": backend}
     if getattr(args, "faults", None):
         from .faults import FaultPlan
 
@@ -345,10 +392,22 @@ def cmd_workload(args):
         overrides["recovery"] = True
     if getattr(args, "deadline", None):
         overrides["deadline"] = args.deadline
+    if backend == "process" and args.timeline:
+        print(
+            "error: --timeline requires --backend sim (the process backend "
+            "has no virtual-time trace recorder)",
+            file=sys.stderr,
+        )
+        return 2
+    from .errors import ConfigError
+
+    try:
+        rpqd_config = EngineConfig(num_machines=args.machines, **overrides)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     engines = {
-        "rpqd": Session(
-            graph, EngineConfig(num_machines=args.machines, **overrides)
-        ),
+        "rpqd": Session(graph, rpqd_config),
         "bft": BftEngine(graph),
         "recursive": RecursiveEngine(graph),
     }
@@ -356,51 +415,58 @@ def cmd_workload(args):
     records = []
     timelines = []
     any_partial = False
-    for name, build in BENCHMARK_QUERIES.items():
-        query = build(info)
-        row = [name]
-        record = {"query": name}
-        for ename, engine in engines.items():
-            if ename == "rpqd" and args.timeline:
-                result = engine.execute(query, trace=True)
-                timelines.append((name, result.trace))
-            else:
-                result = engine.execute(query)
-            latency = round(result.virtual_time, 1)
-            if ename == "rpqd":
-                # Completeness propagation: a run cut short by a permanent
-                # machine loss (recovery off) or a deadline is flagged so
-                # its latency is never mistaken for a full answer.
-                complete = getattr(result, "complete", True)
-                record["complete"] = complete
-                record["timed_out"] = getattr(result, "timed_out", False)
-                record["down_machines"] = list(
-                    getattr(result.stats, "down_machines", ())
-                )
-                recovery = getattr(result.stats, "recovery", None)
-                if recovery is not None:
-                    record["recoveries"] = recovery.get("recoveries", 0)
-                if not complete:
-                    any_partial = True
-                    row.append(f"{latency}*")
+    try:
+        for name, build in BENCHMARK_QUERIES.items():
+            query = build(info)
+            row = [name]
+            record = {"query": name}
+            for ename, engine in engines.items():
+                if ename == "rpqd" and args.timeline:
+                    result = engine.execute(query, trace=True)
+                    timelines.append((name, result.trace))
+                else:
+                    result = engine.execute(query)
+                latency = round(result.virtual_time, 1)
+                if ename == "rpqd":
+                    # Completeness propagation: a run cut short by a permanent
+                    # machine loss (recovery off) or a deadline is flagged so
+                    # its latency is never mistaken for a full answer.
+                    complete = getattr(result, "complete", True)
+                    record["complete"] = complete
+                    record["timed_out"] = getattr(result, "timed_out", False)
+                    record["down_machines"] = list(
+                        getattr(result.stats, "down_machines", ())
+                    )
+                    recovery = getattr(result.stats, "recovery", None)
+                    if recovery is not None:
+                        record["recoveries"] = recovery.get("recoveries", 0)
+                    if not complete:
+                        any_partial = True
+                        row.append(f"{latency}*")
+                    else:
+                        row.append(latency)
                 else:
                     row.append(latency)
-            else:
-                row.append(latency)
-            record[ename] = latency
-            # Wall-clock is reporting-only (host-relative, nondeterministic)
-            # but rides along for bench trajectories: virtual rounds stay
-            # the primary latency metric.
-            record[f"{ename}_wall_seconds"] = getattr(
-                result.stats, "wall_seconds", None
-            )
-        rows.append(row)
-        records.append(record)
+                record[ename] = latency
+                # Wall-clock is reporting-only (host-relative,
+                # nondeterministic) but rides along for bench trajectories:
+                # virtual rounds stay the primary latency metric.
+                record[f"{ename}_wall_seconds"] = getattr(
+                    result.stats, "wall_seconds", None
+                )
+            rows.append(row)
+            records.append(record)
+    finally:
+        # The rpqd session may own process-backend resources (worker pool
+        # bookkeeping, shared-memory CSR segments): release them even when
+        # a query raises.
+        engines["rpqd"].close()
     if args.json:
         print(json.dumps({
             "scale": args.scale,
             "seed": args.seed,
             "machines": args.machines,
+            "backend": backend,
             "engines": list(engines),
             "latency_unit": "virtual rounds",
             "results": records,
@@ -411,7 +477,8 @@ def cmd_workload(args):
                 ["query"] + list(engines),
                 rows,
                 title=f"paper workload at scale {args.scale!r} "
-                f"(virtual latency, rpqd on {args.machines} machines)",
+                f"(virtual latency, rpqd on {args.machines} machines, "
+                f"{backend} backend)",
             )
         )
         if any_partial:
@@ -765,6 +832,7 @@ def cmd_bench(args):
                     profile=not args.no_profile,
                     seed=args.seed,
                     only=only,
+                    backend=getattr(args, "backend", "sim"),
                 )
             except KeyError:
                 print(
@@ -804,25 +872,43 @@ def cmd_bench(args):
 
 
 def _print_bench_table(doc):
-    """The human-readable ``repro bench`` summary table."""
+    """The human-readable ``repro bench`` summary table.
+
+    Process-backend documents grow three columns: the simulator oracle's
+    wall time, the wall-clock speedup over it, and whether the result
+    sets were bit-identical.
+    """
+    process = doc.get("backend") == "process"
     rows = []
     for qname, q in doc["queries"].items():
-        rows.append([
+        row = [
             qname + ("" if q.get("complete", True) else "*"),
             round(q["virtual_rounds"], 1),
             f"{q['median_wall_seconds'] * 1000:.2f}",
             q["messages"],
             q["bytes"],
-        ])
+        ]
+        if process:
+            speedup = q.get("wall_speedup_vs_sim")
+            row.extend([
+                f"{q.get('sim_wall_seconds', 0.0) * 1000:.2f}",
+                f"{speedup:.2f}x" if speedup is not None else "-",
+                "yes" if q.get("identical_to_sim") else "NO",
+            ])
+        rows.append(row)
+    headers = ["query", "rounds", "wall ms", "messages", "bytes"]
+    if process:
+        headers += ["sim ms", "speedup", "identical"]
     cache = doc["plan_cache"]
     rate = cache["hit_rate"]
+    backend = doc.get("backend", "sim")
     print(
         format_table(
-            ["query", "rounds", "wall ms", "messages", "bytes"],
+            headers,
             rows,
             title=f"suite {doc['suite']!r} scale {doc['scale']!r} "
             f"({doc['machines']} machines, {doc['repetitions']} reps + "
-            f"{doc['warmup']} warmup)",
+            f"{doc['warmup']} warmup, {backend} backend)",
         )
     )
     total = doc["total"]
@@ -969,6 +1055,7 @@ def build_parser():
         help="run under the protocol sanitizer (with --concurrency, every "
         "interleaved query gets its own sanitizer)",
     )
+    _add_backend_arg(p)
     p.set_defaults(func=cmd_workload)
 
     p = sub.add_parser(
@@ -1033,6 +1120,7 @@ def build_parser():
         "--json", action="store_true",
         help="emit the document (and compare report) as JSON on stdout",
     )
+    _add_backend_arg(p)
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(

@@ -114,6 +114,21 @@ class MembershipConfig:
 
 
 @dataclass(frozen=True)
+class BackendConfig:
+    """Execution-backend selection and process-backend knobs as one group.
+
+    Pass as ``EngineConfig(execution=BackendConfig(...))``; regrouped
+    view: ``config.backend_config``.  See ``docs/backends.md`` for the
+    backend feature matrix.
+    """
+
+    backend: str = "sim"
+    workers: Optional[int] = None
+    channel_capacity: int = 0
+    shm_threshold_bytes: int = 64 * 1024
+
+
+@dataclass(frozen=True)
 class EngineConfig:
     """Configuration of the simulated RPQd cluster.
 
@@ -228,10 +243,31 @@ class EngineConfig:
             silence before suspicion, and the additional silence before
             a suspicion becomes confirm-eligible (full detection window
             = ``suspect_after + confirm_after`` rounds).
-        flow / obs / fault / resilience / detection: optional grouped
-            construction — :class:`FlowConfig`, :class:`ObsConfig`,
+        backend: execution substrate (:mod:`repro.runtime.backend`):
+            ``"sim"`` (default) runs the deterministic discrete-time
+            simulator — the verification oracle, and the only backend
+            supporting faults, recovery, membership, tracing, and the
+            race detector; ``"process"`` runs each partition's machine
+            loop in a real OS process with pickled message frames and a
+            shared-memory CSR (``docs/backends.md``).  Result sets are
+            bit-identical across backends.
+        workers: worker *processes* for ``backend="process"`` (distinct
+            from the simulated ``workers_per_machine`` DFT threads).
+            ``None`` defaults to ``num_machines`` — one partition per
+            process, the paper's deployment shape; fewer workers host
+            several machines each.
+        channel_capacity: bound on each worker's inbound frame queue for
+            ``backend="process"``; ``0`` (default) is unbounded —
+            flow-control credits already bound data-plane frames in
+            flight.
+        shm_threshold_bytes: adjacency smaller than this skips the
+            shared-memory CSR export for ``backend="process"`` (fork
+            inheritance is cheaper than export+attach for tiny graphs).
+        flow / obs / fault / resilience / detection / execution: optional
+            grouped construction — :class:`FlowConfig`, :class:`ObsConfig`,
             :class:`FaultConfig`, :class:`RecoveryConfig`,
-            :class:`MembershipConfig` objects whose fields expand into the
+            :class:`MembershipConfig`, :class:`BackendConfig` objects
+            whose fields expand into the
             flat fields of the same names (flat kwargs keep working; a
             disagreeing flat kwarg is a :class:`~repro.errors.ConfigError`).
         cost: the virtual-time cost model.
@@ -292,6 +328,12 @@ class EngineConfig:
     # :class:`repro.errors.AdmissionError`.
     max_concurrent_queries: int = 4
     admission_queue_limit: int = 16
+    # Execution backend (:mod:`repro.runtime.backend`): "sim" or "process",
+    # plus the process backend's worker/channel/shared-memory knobs.
+    backend: str = "sim"
+    workers: Optional[int] = None
+    channel_capacity: int = 0
+    shm_threshold_bytes: int = 64 * 1024
     # Grouped construction sugar: each accepts a sub-config object whose
     # fields expand into the flat fields of the same names (so old flat
     # kwargs keep working unchanged).  A flat kwarg that *conflicts* with
@@ -304,6 +346,7 @@ class EngineConfig:
     fault: Optional[FaultConfig] = None
     resilience: Optional[RecoveryConfig] = None
     detection: Optional[MembershipConfig] = None
+    execution: Optional[BackendConfig] = None
     max_rounds: int = 2_000_000
     cost: CostModel = field(default_factory=CostModel)
     seed: int = 42
@@ -343,6 +386,7 @@ class EngineConfig:
         self._expand_group("fault", FaultConfig)
         self._expand_group("resilience", RecoveryConfig)
         self._expand_group("detection", MembershipConfig)
+        self._expand_group("execution", BackendConfig)
         if self.num_machines < 1:
             raise ConfigError(
                 f"num_machines must be >= 1 (got {self.num_machines})"
@@ -472,6 +516,68 @@ class EngineConfig:
             raise ConfigError(
                 f"confirm_after must be >= 1 (got {self.confirm_after})"
             )
+        if self.backend not in ("sim", "process"):
+            raise ConfigError(
+                f"backend must be 'sim' or 'process' (got {self.backend!r})"
+            )
+        if self.workers is not None and (
+            not isinstance(self.workers, int) or self.workers < 1
+        ):
+            raise ConfigError(
+                "workers must be None (one process per machine) or a "
+                f"positive int (got {self.workers!r})"
+            )
+        if self.channel_capacity < 0:
+            raise ConfigError(
+                "channel_capacity must be >= 0, with 0 meaning unbounded "
+                f"(got {self.channel_capacity})"
+            )
+        if self.shm_threshold_bytes < 0:
+            raise ConfigError(
+                "shm_threshold_bytes must be >= 0 "
+                f"(got {self.shm_threshold_bytes})"
+            )
+        if self.backend == "process":
+            # The backend feature matrix (docs/backends.md): these options
+            # are defined on the simulator's virtual clock or perturb its
+            # deterministic schedule, so the process backend rejects them
+            # loudly instead of silently ignoring them.
+            if self.faults is not None:
+                raise ConfigError(
+                    "faults is simulator-only: the seeded injector "
+                    "schedules drops/crashes on virtual rounds, which "
+                    f"backend='process' does not have (got faults="
+                    f"{self.faults!r}); run backend='sim' for chaos"
+                )
+            if self.recovery:
+                raise ConfigError(
+                    "recovery=True is simulator-only: epoch checkpoints "
+                    "are cut on termination-protocol boundaries of the "
+                    "virtual clock, which backend='process' does not have "
+                    "— run backend='sim' for crash recovery"
+                )
+            if self.membership:
+                raise ConfigError(
+                    "membership=True is simulator-only: the heartbeat "
+                    "failure detector times out on virtual rounds, which "
+                    "backend='process' does not have — run backend='sim' "
+                    "for failure detection"
+                )
+            if self.schedule_seed is not None:
+                raise ConfigError(
+                    "schedule_seed (race-detector mode) is simulator-only: "
+                    "it permutes the deterministic round schedule, and "
+                    "backend='process' has no such schedule (got "
+                    f"schedule_seed={self.schedule_seed!r}); run "
+                    "backend='sim' for race detection"
+                )
+            if self.observe:
+                raise ConfigError(
+                    "observe=True is simulator-only for now: the span "
+                    "recorder timestamps on the virtual clock, which "
+                    "backend='process' does not have — run backend='sim' "
+                    "(profile=True works on both backends)"
+                )
         if self.recovery and self.reliable_transport is False:
             raise ConfigError(
                 "recovery requires the reliable transport layer "
@@ -521,6 +627,12 @@ class EngineConfig:
         """The failure-detection fields regrouped as a
         :class:`MembershipConfig`."""
         return self._regroup(MembershipConfig)
+
+    @property
+    def backend_config(self):
+        """The execution-backend fields regrouped as a
+        :class:`BackendConfig`."""
+        return self._regroup(BackendConfig)
 
     @property
     def membership_enabled(self):

@@ -25,18 +25,23 @@ from .result import QueryResult  # noqa: F401  (re-export: public import path)
 class RPQdEngine:
     """Deprecated: use :func:`repro.connect` and :class:`repro.Session`."""
 
-    def __init__(self, graph, config=None, partitioner="hash"):
+    def __init__(self, graph, config=None, partitioner="hash", backend=None):
         warnings.warn(
-            "RPQdEngine is deprecated; use repro.connect(graph, ...) which "
-            "returns a Session with the same execute() plus concurrent "
-            "submit()/QueryHandle support",
+            "RPQdEngine is deprecated and will be removed in repro 2.0; "
+            "use repro.connect(graph, ...) which returns a Session with "
+            "the same execute() plus concurrent submit()/QueryHandle "
+            "support and execution-backend selection",
             DeprecationWarning,
             stacklevel=2,
         )
-        from ..session import Session  # deferred: session imports engine.result
+        from ..session import connect  # deferred: session imports engine.result
 
-        self._session = Session(
-            graph, config or EngineConfig(), partitioner=partitioner
+        # Route through the public connect() path so shim callers get the
+        # same backend dispatch (sim or process) as Session users.
+        overrides = {} if backend is None else {"backend": backend}
+        self._session = connect(
+            graph, config=config or EngineConfig(), partitioner=partitioner,
+            **overrides,
         )
 
     # -- delegated surface (the entire historical public API) ------------

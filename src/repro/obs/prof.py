@@ -129,6 +129,50 @@ class PhaseProfiler:
         return out
 
 
+def merge_summaries(summaries):
+    """Combine :meth:`PhaseProfiler.summary` dicts from several processes.
+
+    The process backend profiles each worker with its own
+    :class:`PhaseProfiler` and ships the summaries (plain dicts) back to
+    the coordinator; this recombines them into one summary of the same
+    shape — calls/total/self sum, min/max fold, averages recomputed —
+    ordered by descending total time like :meth:`PhaseProfiler.summary`.
+    Wall seconds from concurrent processes overlap, so a merged
+    ``total_s`` is aggregate CPU-side phase time, not elapsed time.
+    """
+    agg = {}
+    for summary in summaries:
+        if not summary:
+            continue
+        for name, s in summary.items():
+            rec = agg.get(name)
+            if rec is None:
+                agg[name] = [
+                    s["calls"], s["total_s"], s["self_s"],
+                    s["min_s"], s["max_s"],
+                ]
+            else:
+                rec[0] += s["calls"]
+                rec[1] += s["total_s"]
+                rec[2] += s["self_s"]
+                if s["min_s"] < rec[3]:
+                    rec[3] = s["min_s"]
+                if s["max_s"] > rec[4]:
+                    rec[4] = s["max_s"]
+    out = {}
+    ranked = sorted(agg.items(), key=lambda kv: (-kv[1][1], kv[0]))
+    for name, (calls, total, self_s, mn, mx) in ranked:
+        out[name] = {
+            "calls": calls,
+            "total_s": total,
+            "self_s": self_s,
+            "avg_s": total / calls,
+            "min_s": mn,
+            "max_s": mx,
+        }
+    return out
+
+
 def profiled(name, attr="prof"):
     """Decorator timing a method under ``name`` via ``self.<attr>``.
 

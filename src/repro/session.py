@@ -15,9 +15,12 @@ Typical use::
         for handle in handles:
             rows = handle.result().rows
 
-``execute`` runs one query with exclusive ownership of the simulated
-cluster (the solo :class:`~repro.runtime.scheduler.QueryExecution` path —
-the only one supporting the race detector's ``schedule_seed``).
+``execute`` runs one query with exclusive ownership of the cluster,
+dispatched through the session's :class:`~repro.runtime.backend.
+ExecutionBackend` — the deterministic simulator by default (the solo
+:class:`~repro.runtime.scheduler.QueryExecution` path, the only one
+supporting the race detector's ``schedule_seed``), or real OS processes
+with ``repro.connect(graph, backend="process")`` (docs/backends.md).
 ``submit`` hands the query to the shared :class:`~repro.runtime.multi.
 ClusterScheduler`, where it interleaves with every other in-flight
 submission under fair per-machine quantum sharing; the returned
@@ -43,8 +46,7 @@ from .pgql.parser import parse
 from .plan.cache import PlanCache
 from .plan.compiler import compile_query
 from .plan.explain import explain as explain_plan
-from .runtime.multi import ClusterScheduler
-from .runtime.scheduler import QueryExecution
+from .runtime.backend import backend_from_config
 from .runtime.trace import ExecutionTrace
 
 
@@ -56,6 +58,13 @@ def connect(graph, config=None, partitioner="hash", **overrides):
     build one), so ``repro.connect(graph, num_machines=8, sanitize=True)``
     works without touching the config class.  Invalid fields raise
     :class:`~repro.errors.ConfigError` naming the offending value.
+
+    ``backend`` selects the execution substrate
+    (:mod:`repro.runtime.backend`): ``repro.connect(graph,
+    backend="process")`` runs each partition's machine loop in a real OS
+    process; the default ``backend="sim"`` is the deterministic
+    simulator.  Result sets are bit-identical either way — see
+    ``docs/backends.md`` for the feature matrix.
     """
     if config is None:
         config = EngineConfig(**overrides)
@@ -139,9 +148,15 @@ class Session:
             graph, self.config.num_machines, partitioner
         )
         self.plan_cache = PlanCache()
+        self._backend = backend_from_config(self.config)
         self._scheduler = None
         self._handles = []
         self._closed = False
+
+    @property
+    def backend(self):
+        """The session's :class:`~repro.runtime.backend.ExecutionBackend`."""
+        return self._backend
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -156,6 +171,7 @@ class Session:
                 handle.cancel()
         self._handles = []
         self._scheduler = None
+        self._backend.close()
 
     def __enter__(self):
         return self
@@ -257,16 +273,25 @@ class Session:
             prof = profile  # caller-supplied PhaseProfiler instance
         else:
             prof = None
-        execution = QueryExecution(
-            dgraph, plan, run_config, sink_factory=lambda m: sinks[m],
-            trace=trace, recorder=recorder, prof=prof,
-        )
-        stats = execution.run()
+        backend = self._backend
+        if run_config.backend != backend.name:
+            # A per-run config override switched backends for this query
+            # only (benchmarks sweep them); the temporary backend's
+            # resources are torn down before returning.
+            backend = backend_from_config(run_config)
+        try:
+            stats, partial, timed_out = backend.run(
+                dgraph, plan, run_config, sinks,
+                trace=trace, recorder=recorder, prof=prof,
+            )
+        finally:
+            if backend is not self._backend:
+                backend.close()
         result_set = assemble_results(
             plan,
             sinks,
-            complete=not execution.partial,
-            timed_out=execution.timed_out,
+            complete=not partial,
+            timed_out=timed_out,
         )
         return QueryResult(result_set, stats, plan, trace=trace, obs=recorder)
 
@@ -303,7 +328,12 @@ class Session:
         else:
             recorder = None
         if self._scheduler is None:
-            self._scheduler = ClusterScheduler(self.dgraph, self.config)
+            # Backend dispatch: the simulator returns its shared
+            # ClusterScheduler; the process backend rejects submit() with
+            # an explanatory ConfigError (simulator-only for now).
+            self._scheduler = self._backend.open_cluster(
+                self.dgraph, self.config
+            )
         plan = self.compile(query)
         sinks = [MachineSink(plan) for _ in range(run_config.num_machines)]
         task = self._scheduler.submit(

@@ -1,0 +1,360 @@
+"""Tests for the execution-backend API (:mod:`repro.runtime.backend`).
+
+The headline contract: the process backend and the simulator return
+bit-identical result sets (the simulator is the verification oracle),
+and the shared-memory CSR export never leaks segments — not on clean
+close, not on cancel, not on a worker crash.
+"""
+
+import multiprocessing
+import os
+import warnings
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro import EngineConfig, RPQdEngine, connect
+from repro.bench.harness import host_info
+from repro.config import BackendConfig
+from repro.datagen import BENCHMARK_QUERIES, mini_ldbc
+from repro.errors import ConfigError, ExecutionError
+from repro.faults import FaultPlan
+from repro.graph.generators import random_graph
+from repro.runtime.backend import (
+    ProcessBackend,
+    SimBackend,
+    backend_from_config,
+)
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="process backend requires the fork start method",
+)
+
+COUNT_Q = "SELECT COUNT(*) FROM MATCH (a)-/:LINK{1,3}/->(b)"
+
+
+def _assert_unlinked(names):
+    """Every named segment must be gone from the OS."""
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+# ---------------------------------------------------------------------------
+# BackendConfig group + validation
+# ---------------------------------------------------------------------------
+
+
+class TestBackendConfig:
+    def test_group_expands_to_flat_fields(self):
+        config = EngineConfig(
+            execution=BackendConfig(
+                backend="process", workers=2, channel_capacity=128,
+                shm_threshold_bytes=0,
+            )
+        )
+        assert config.backend == "process"
+        assert config.workers == 2
+        assert config.channel_capacity == 128
+        assert config.shm_threshold_bytes == 0
+        assert config.execution is None  # consumed during expansion
+
+    def test_regroup_view_roundtrips(self):
+        config = EngineConfig(backend="process", workers=3)
+        view = config.backend_config
+        assert isinstance(view, BackendConfig)
+        assert view.backend == "process"
+        assert view.workers == 3
+        assert EngineConfig(execution=view).workers == 3
+
+    def test_conflicting_flat_kwarg_names_both_values(self):
+        with pytest.raises(ConfigError, match=r"workers.*2.*workers=4"):
+            EngineConfig(workers=2, execution=BackendConfig(workers=4))
+
+    def test_unknown_backend_names_value(self):
+        with pytest.raises(ConfigError, match=r"backend.*'threads'"):
+            EngineConfig(backend="threads")
+
+    def test_invalid_workers_names_value(self):
+        with pytest.raises(ConfigError, match=r"workers.*0"):
+            EngineConfig(workers=0)
+
+    def test_negative_channel_capacity_rejected(self):
+        with pytest.raises(ConfigError, match=r"channel_capacity.*-1"):
+            EngineConfig(channel_capacity=-1)
+
+    def test_negative_shm_threshold_rejected(self):
+        with pytest.raises(ConfigError, match=r"shm_threshold_bytes"):
+            EngineConfig(shm_threshold_bytes=-1)
+
+    def test_connect_accepts_backend_kwarg(self):
+        with connect(random_graph(30, 60), backend="process") as session:
+            assert session.backend.name == "process"
+            assert session.config.backend == "process"
+
+    def test_backend_from_config_dispatch(self):
+        assert isinstance(
+            backend_from_config(EngineConfig(backend="sim")), SimBackend
+        )
+        assert isinstance(
+            backend_from_config(EngineConfig(backend="process")),
+            ProcessBackend,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Feature matrix: simulator-only options fail loudly with process backend
+# ---------------------------------------------------------------------------
+
+
+class TestFeatureMatrix:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"faults": FaultPlan(seed=1, drop_prob=0.1)},
+            {"recovery": True},
+            {"membership": True},
+            {"schedule_seed": 3},
+            {"observe": True},
+        ],
+        ids=["faults", "recovery", "membership", "schedule_seed", "observe"],
+    )
+    def test_simulator_only_options_rejected(self, kwargs):
+        with pytest.raises(ConfigError, match="simulator-only"):
+            EngineConfig(backend="process", **kwargs)
+
+    def test_error_points_at_sim_backend(self):
+        with pytest.raises(ConfigError, match="backend='sim'"):
+            EngineConfig(backend="process", recovery=True)
+
+    def test_trace_rejected_at_execute(self):
+        with connect(random_graph(30, 60), backend="process") as session:
+            with pytest.raises(ConfigError, match="simulator-only"):
+                session.execute(COUNT_Q, trace=True)
+
+    def test_observe_rejected_at_execute(self):
+        with connect(random_graph(30, 60), backend="process") as session:
+            with pytest.raises(ConfigError, match="simulator-only"):
+                session.execute(COUNT_Q, observe=True)
+
+    def test_submit_rejected(self):
+        with connect(random_graph(30, 60), backend="process") as session:
+            with pytest.raises(ConfigError, match="submit"):
+                session.submit(COUNT_Q)
+
+
+# ---------------------------------------------------------------------------
+# Cross-backend equivalence: the simulator is the oracle
+# ---------------------------------------------------------------------------
+
+
+class TestCrossBackendEquivalence:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        graph, info = mini_ldbc("xs", seed=7)
+        queries = {
+            name: build(info) for name, build in BENCHMARK_QUERIES.items()
+        }
+        return graph, queries
+
+    def test_full_bench_workload_bit_identical(self, workload):
+        graph, queries = workload
+        with connect(graph, num_machines=4) as sim, connect(
+            graph, num_machines=4, backend="process"
+        ) as proc:
+            for name, query in queries.items():
+                expected = sim.execute(query)
+                actual = proc.execute(query)
+                assert actual.rows == expected.rows, name
+                assert actual.columns == expected.columns, name
+
+    def test_distinct_rows_identical(self):
+        graph = random_graph(60, 150, seed=11)
+        query = "SELECT DISTINCT b.idx FROM MATCH (a)-/:LINK{1,2}/->(b)"
+        with connect(graph, num_machines=3) as sim, connect(
+            graph, num_machines=3, backend="process"
+        ) as proc:
+            assert proc.execute(query).rows == sim.execute(query).rows
+
+    def test_aggregate_order_by_identical(self, workload):
+        graph, _ = workload
+        query = (
+            "SELECT p.country AS c, COUNT(*) AS n "
+            "FROM MATCH (p:Person) GROUP BY p.country "
+            "ORDER BY n DESC, c"
+        )
+        with connect(graph, num_machines=4) as sim, connect(
+            graph, num_machines=4, backend="process"
+        ) as proc:
+            assert proc.execute(query).rows == sim.execute(query).rows
+
+    def test_fewer_workers_than_machines_identical(self, workload):
+        graph, queries = workload
+        query = queries["Q09"]
+        with connect(graph, num_machines=4) as sim, connect(
+            graph, num_machines=4, backend="process", workers=2
+        ) as proc:
+            assert proc.execute(query).rows == sim.execute(query).rows
+
+    def test_below_shm_threshold_uses_fork_inheritance(self, workload):
+        graph, queries = workload
+        with connect(
+            graph, num_machines=4, backend="process",
+            shm_threshold_bytes=1 << 40,
+        ) as proc, connect(graph, num_machines=4) as sim:
+            result = proc.execute(queries["Q03"])
+            assert proc.backend.shm_segments == []
+            assert result.rows == sim.execute(queries["Q03"]).rows
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory lifecycle: no leaked segments, ever
+# ---------------------------------------------------------------------------
+
+
+class TestShmLifecycle:
+    def test_segments_live_during_session_and_unlinked_on_close(self):
+        graph = random_graph(80, 200, seed=5)
+        session = connect(
+            graph, num_machines=4, backend="process", shm_threshold_bytes=0
+        )
+        try:
+            session.execute(COUNT_Q)
+            names = list(session.backend.shm_segments)
+            assert names, "export expected above threshold"
+            # Attachable while the session is open...
+            seg = shared_memory.SharedMemory(name=names[0])
+            seg.close()
+        finally:
+            session.close()
+        # ...and gone afterwards.
+        _assert_unlinked(names)
+
+    def test_export_cached_across_queries(self):
+        graph = random_graph(80, 200, seed=5)
+        with connect(
+            graph, num_machines=4, backend="process", shm_threshold_bytes=0
+        ) as session:
+            session.execute(COUNT_Q)
+            first = list(session.backend.shm_segments)
+            session.execute(COUNT_Q)
+            assert session.backend.shm_segments == first
+
+    def test_worker_crash_raises_and_close_unlinks(self, monkeypatch):
+        import repro.runtime.backend as backend_mod
+
+        def crash(*args, **kwargs):
+            os._exit(1)
+
+        graph = random_graph(80, 200, seed=5)
+        session = connect(
+            graph, num_machines=4, backend="process", shm_threshold_bytes=0
+        )
+        try:
+            # Fork inherits the patched module, so every worker dies on
+            # entry; the coordinator must surface it as ExecutionError.
+            monkeypatch.setattr(backend_mod, "_worker_main", crash)
+            with pytest.raises(ExecutionError, match="worker"):
+                session.execute(COUNT_Q)
+            names = list(session.backend.shm_segments)
+            assert names
+        finally:
+            session.close()
+        _assert_unlinked(names)
+
+    def test_worker_exception_propagates_with_traceback(self, monkeypatch):
+        import repro.runtime.backend as backend_mod
+
+        def explode(config):
+            raise RuntimeError("injected worker failure")
+
+        graph = random_graph(40, 80, seed=5)
+        session = connect(graph, num_machines=2, backend="process")
+        try:
+            # Patched in the parent, inherited by forked workers: the real
+            # _worker_main catches it and posts an error payload, which
+            # the coordinator re-raises with the worker's traceback.
+            monkeypatch.setattr(
+                backend_mod, "sanitizer_from_config", explode
+            )
+            with pytest.raises(
+                ExecutionError, match="injected worker failure"
+            ):
+                session.execute(COUNT_Q)
+        finally:
+            session.close()
+
+    def test_backend_close_is_idempotent(self):
+        graph = random_graph(80, 200, seed=5)
+        session = connect(
+            graph, num_machines=2, backend="process", shm_threshold_bytes=0
+        )
+        session.execute(COUNT_Q)
+        names = list(session.backend.shm_segments)
+        session.close()
+        session.backend.close()  # second close is a no-op
+        _assert_unlinked(names)
+
+
+# ---------------------------------------------------------------------------
+# Satellites: deprecated shim routing, host_info, bench document fields
+# ---------------------------------------------------------------------------
+
+
+class TestSatellites:
+    def test_rpqd_engine_warns_with_removal_version(self):
+        graph = random_graph(30, 60)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            engine = RPQdEngine(graph)
+        assert any(
+            issubclass(w.category, DeprecationWarning)
+            and "repro 2.0" in str(w.message)
+            for w in caught
+        )
+        assert engine.execute(COUNT_Q).scalar() is not None
+
+    def test_rpqd_engine_accepts_backend(self):
+        graph = random_graph(30, 60)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shim = RPQdEngine(graph, backend="process")
+        with connect(graph, num_machines=4) as sim:
+            assert shim.execute(COUNT_Q).rows == sim.execute(COUNT_Q).rows
+        assert shim.config.backend == "process"
+        shim._session.close()
+
+    def test_host_info_records_backend(self):
+        assert host_info()["backend"] == "sim"
+        assert host_info(backend="process")["backend"] == "process"
+
+    def test_run_suite_process_document_fields(self):
+        from repro.bench.suites import run_suite
+
+        doc = run_suite(
+            "smoke", repetitions=1, profile=False, only=["Q03"],
+            backend="process",
+        )
+        assert doc["backend"] == "process"
+        assert doc["host"]["backend"] == "process"
+        q = doc["queries"]["Q03"]
+        assert q["identical_to_sim"] is True
+        assert q["sim_wall_seconds"] > 0
+        assert q["wall_speedup_vs_sim"] is not None
+        # virtual_rounds comes from the sim oracle (the process backend
+        # has no virtual clock), recorded next to the wall columns.
+        assert q["virtual_rounds"] > 0
+
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 4,
+        reason="wall-clock speedup needs >= 4 physical cores",
+    )
+    def test_process_backend_speedup_on_multicore(self):
+        from repro.bench.suites import run_suite
+
+        doc = run_suite(
+            "standard", repetitions=1, profile=False, only=["Q09"],
+            backend="process",
+        )
+        assert doc["queries"]["Q09"]["wall_speedup_vs_sim"] >= 1.5

@@ -64,8 +64,9 @@ class TestHarnessWarmup:
     def test_host_info_shape(self):
         info = host_info()
         assert set(info) == {
-            "platform", "python", "implementation", "cpu_count"
+            "platform", "python", "implementation", "cpu_count", "backend"
         }
+        assert info["backend"] == "sim"
 
 
 REQUIRED_QUERY_FIELDS = {
